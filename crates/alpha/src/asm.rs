@@ -1,0 +1,637 @@
+//! A label-based Alpha assembler.
+//!
+//! [`Assembler`] builds a [`Program`] incrementally: emit instructions with
+//! mnemonic-named helper methods, declare and bind [`Label`]s for control
+//! flow, and allocate data blocks. Forward references are patched when
+//! [`Assembler::finish`] is called.
+//!
+//! # Examples
+//!
+//! A countdown loop:
+//!
+//! ```
+//! use alpha_isa::{Assembler, Reg};
+//! let mut asm = Assembler::new(0x1_0000);
+//! let a0 = Reg::A0;
+//! asm.lda_imm(a0, 10);
+//! let top = asm.here("top");
+//! asm.subq_imm(a0, 1, a0);
+//! asm.bne(a0, top);
+//! asm.halt();
+//! let program = asm.finish()?;
+//! # Ok::<(), alpha_isa::AsmError>(())
+//! ```
+
+use crate::encode::{encode, EncodeError};
+use crate::inst::{BranchOp, Inst, JumpKind, MemOp, OperateOp, Operand, PalFunc};
+use crate::{Program, Reg};
+
+/// A code label, declared with [`Assembler::label`] and positioned with
+/// [`Assembler::bind`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Errors reported when finishing assembly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel {
+        /// The label's debug name.
+        name: String,
+    },
+    /// An instruction field overflowed during final encoding.
+    Encode(EncodeError),
+    /// A branch target is too far away for the 21-bit displacement.
+    BranchOutOfRange {
+        /// Branch site instruction index.
+        at: usize,
+        /// The label's debug name.
+        target: String,
+    },
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
+            AsmError::BranchOutOfRange { at, target } => {
+                write!(f, "branch at instruction {at} cannot reach label `{target}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> AsmError {
+        AsmError::Encode(e)
+    }
+}
+
+enum Slot {
+    /// A fully-formed instruction.
+    Done(Inst),
+    /// A branch whose displacement awaits label resolution.
+    Branch { op: BranchOp, ra: Reg, target: Label },
+}
+
+/// Incremental program builder. See the module documentation for an
+/// example.
+pub struct Assembler {
+    code_base: u64,
+    slots: Vec<Slot>,
+    labels: Vec<(String, Option<usize>)>, // name, bound instruction index
+    data: Vec<(u64, Vec<u8>)>,
+    data_cursor: u64,
+    entry: Option<u64>,
+    initial_sp: u64,
+}
+
+impl Assembler {
+    /// Default base address for assembler-allocated data blocks.
+    pub const DEFAULT_DATA_BASE: u64 = 0x0100_0000;
+
+    /// Creates an assembler that will place code at `code_base`.
+    pub fn new(code_base: u64) -> Assembler {
+        Assembler {
+            code_base,
+            slots: Vec::new(),
+            labels: Vec::new(),
+            data: Vec::new(),
+            data_cursor: Assembler::DEFAULT_DATA_BASE,
+            entry: None,
+            initial_sp: Program::DEFAULT_SP,
+        }
+    }
+
+    /// Declares a label (unbound). `name` is for diagnostics only.
+    pub fn label(&mut self, name: impl Into<String>) -> Label {
+        self.labels.push((name.into(), None));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.1.is_none(), "label `{}` bound twice", slot.0);
+        slot.1 = Some(self.slots.len());
+    }
+
+    /// Declares a label and binds it to the current position in one step.
+    pub fn here(&mut self, name: impl Into<String>) -> Label {
+        let l = self.label(name);
+        self.bind(l);
+        l
+    }
+
+    /// The address the next emitted instruction will occupy.
+    pub fn current_pc(&self) -> u64 {
+        self.code_base + (self.slots.len() as u64) * 4
+    }
+
+    /// The code address of a label, if it has been bound.
+    ///
+    /// Useful for building jump tables and function-pointer tables in data
+    /// memory: bind the target labels first, then write their addresses.
+    pub fn label_addr(&self, label: Label) -> Option<u64> {
+        self.labels[label.0]
+            .1
+            .map(|idx| self.code_base + (idx as u64) * 4)
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Sets the program entry point to the current position.
+    pub fn entry_here(&mut self) {
+        self.entry = Some(self.current_pc());
+    }
+
+    /// Sets the initial stack pointer.
+    pub fn set_initial_sp(&mut self, sp: u64) {
+        self.initial_sp = sp;
+    }
+
+    /// Allocates a data block of `bytes` at the next data address, 8-byte
+    /// aligned, and returns its base address.
+    pub fn data_block(&mut self, bytes: Vec<u8>) -> u64 {
+        let base = (self.data_cursor + 7) & !7u64;
+        self.data_cursor = base + bytes.len() as u64;
+        self.data.push((base, bytes));
+        base
+    }
+
+    /// Allocates a zero-initialized block of `len` bytes.
+    pub fn zero_block(&mut self, len: usize) -> u64 {
+        self.data_block(vec![0; len])
+    }
+
+    /// Emits an arbitrary instruction.
+    pub fn inst(&mut self, inst: Inst) {
+        self.slots.push(Slot::Done(inst));
+    }
+
+    // ---- memory format ----
+
+    /// `lda ra, disp(rb)`.
+    pub fn lda(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Lda, ra, rb, disp });
+    }
+
+    /// `ldah ra, disp(rb)`.
+    pub fn ldah(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Ldah, ra, rb, disp });
+    }
+
+    /// Loads a small signed immediate: `lda ra, imm(r31)`.
+    pub fn lda_imm(&mut self, ra: Reg, imm: i16) {
+        self.lda(ra, imm, Reg::ZERO);
+    }
+
+    /// Materializes an arbitrary 32-bit address/constant with `ldah`+`lda`.
+    pub fn li32(&mut self, ra: Reg, value: u32) {
+        let lo = value as u16 as i16;
+        let mut hi = (value >> 16) as i16;
+        if lo < 0 {
+            hi = hi.wrapping_add(1);
+        }
+        self.ldah(ra, hi, Reg::ZERO);
+        if lo != 0 {
+            self.lda(ra, lo, ra);
+        }
+    }
+
+    /// `ldbu ra, disp(rb)`.
+    pub fn ldbu(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Ldbu, ra, rb, disp });
+    }
+
+    /// `ldwu ra, disp(rb)`.
+    pub fn ldwu(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Ldwu, ra, rb, disp });
+    }
+
+    /// `ldl ra, disp(rb)`.
+    pub fn ldl(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Ldl, ra, rb, disp });
+    }
+
+    /// `ldq ra, disp(rb)`.
+    pub fn ldq(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Ldq, ra, rb, disp });
+    }
+
+    /// `stb ra, disp(rb)`.
+    pub fn stb(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Stb, ra, rb, disp });
+    }
+
+    /// `stw ra, disp(rb)`.
+    pub fn stw(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Stw, ra, rb, disp });
+    }
+
+    /// `stl ra, disp(rb)`.
+    pub fn stl(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Stl, ra, rb, disp });
+    }
+
+    /// `stq ra, disp(rb)`.
+    pub fn stq(&mut self, ra: Reg, disp: i16, rb: Reg) {
+        self.inst(Inst::Mem { op: MemOp::Stq, ra, rb, disp });
+    }
+
+    // ---- operate format ----
+
+    fn op3(&mut self, op: OperateOp, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
+        self.inst(Inst::Operate { op, ra, rb: rb.into(), rc });
+    }
+
+    /// `mov src, dst` (assembles as `bis src, src, dst`).
+    pub fn mov(&mut self, src: Reg, dst: Reg) {
+        self.op3(OperateOp::Bis, src, src, dst);
+    }
+
+    /// Canonical NOP.
+    pub fn nop(&mut self) {
+        self.inst(Inst::NOP);
+    }
+
+    /// `clr dst` (assembles as `bis r31, r31, dst`).
+    pub fn clr(&mut self, dst: Reg) {
+        self.op3(OperateOp::Bis, Reg::ZERO, Reg::ZERO, dst);
+    }
+
+    // ---- jumps / PAL ----
+
+    /// `jmp ra, (rb)`.
+    pub fn jmp(&mut self, ra: Reg, rb: Reg) {
+        self.inst(Inst::Jump { kind: JumpKind::Jmp, ra, rb, hint: 0 });
+    }
+
+    /// `jsr ra, (rb)`.
+    pub fn jsr(&mut self, ra: Reg, rb: Reg) {
+        self.inst(Inst::Jump { kind: JumpKind::Jsr, ra, rb, hint: 0 });
+    }
+
+    /// `ret r31, (ra)` — standard return through `ra`.
+    pub fn ret(&mut self) {
+        self.inst(Inst::Jump {
+            kind: JumpKind::Ret,
+            ra: Reg::ZERO,
+            rb: Reg::RA,
+            hint: 0,
+        });
+    }
+
+    /// `call_pal halt`.
+    pub fn halt(&mut self) {
+        self.inst(Inst::CallPal { func: PalFunc::Halt });
+    }
+
+    /// `call_pal gentrap`.
+    pub fn gentrap(&mut self) {
+        self.inst(Inst::CallPal { func: PalFunc::GenTrap });
+    }
+
+    /// `call_pal putchar`.
+    pub fn putchar(&mut self) {
+        self.inst(Inst::CallPal { func: PalFunc::PutChar });
+    }
+
+    // ---- branch format ----
+
+    fn branch(&mut self, op: BranchOp, ra: Reg, target: Label) {
+        self.slots.push(Slot::Branch { op, ra, target });
+    }
+
+    /// `br target` (no return address).
+    pub fn br(&mut self, target: Label) {
+        self.branch(BranchOp::Br, Reg::ZERO, target);
+    }
+
+    /// `bsr ra, target`.
+    pub fn bsr(&mut self, target: Label) {
+        self.branch(BranchOp::Bsr, Reg::RA, target);
+    }
+
+    /// Finishes assembly, resolving labels and encoding machine words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if a referenced label is unbound, or a branch
+    /// target is out of range.
+    pub fn finish(self) -> Result<Program, AsmError> {
+        let mut words = Vec::with_capacity(self.slots.len());
+        for (i, slot) in self.slots.iter().enumerate() {
+            let inst = match slot {
+                Slot::Done(inst) => *inst,
+                Slot::Branch { op, ra, target } => {
+                    let (name, bound) = &self.labels[target.0];
+                    let Some(at) = bound else {
+                        return Err(AsmError::UnboundLabel { name: name.clone() });
+                    };
+                    let disp = *at as i64 - (i as i64 + 1);
+                    let disp = i32::try_from(disp).map_err(|_| AsmError::BranchOutOfRange {
+                        at: i,
+                        target: name.clone(),
+                    })?;
+                    if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+                        return Err(AsmError::BranchOutOfRange {
+                            at: i,
+                            target: name.clone(),
+                        });
+                    }
+                    Inst::Branch { op: *op, ra: *ra, disp }
+                }
+            };
+            words.push(encode(inst)?);
+        }
+        let mut program = Program::new(self.code_base, words);
+        for (base, bytes) in self.data {
+            program = program.with_data(base, bytes);
+        }
+        if let Some(e) = self.entry {
+            program = program.with_entry(e);
+        }
+        program = program.with_initial_sp(self.initial_sp);
+        for (name, bound) in &self.labels {
+            if let Some(at) = bound {
+                program = program.with_symbol(self.code_base + (*at as u64) * 4, name.clone());
+            }
+        }
+        Ok(program)
+    }
+}
+
+macro_rules! operate_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, ra: Reg, rb: Reg, rc: Reg) {
+                    self.op3(OperateOp::$op, ra, rb, rc);
+                }
+            )*
+        }
+    };
+}
+
+macro_rules! operate_imm_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, ra: Reg, lit: u8, rc: Reg) {
+                    self.op3(OperateOp::$op, ra, lit, rc);
+                }
+            )*
+        }
+    };
+}
+
+macro_rules! branch_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, ra: Reg, target: Label) {
+                    self.branch(BranchOp::$op, ra, target);
+                }
+            )*
+        }
+    };
+}
+
+operate_helpers! {
+    /// `addl ra, rb, rc`.
+    addl => Addl,
+    /// `addq ra, rb, rc`.
+    addq => Addq,
+    /// `subl ra, rb, rc`.
+    subl => Subl,
+    /// `subq ra, rb, rc`.
+    subq => Subq,
+    /// `s4addq ra, rb, rc`.
+    s4addq => S4addq,
+    /// `s8addq ra, rb, rc`.
+    s8addq => S8addq,
+    /// `cmpeq ra, rb, rc`.
+    cmpeq => Cmpeq,
+    /// `cmplt ra, rb, rc`.
+    cmplt => Cmplt,
+    /// `cmple ra, rb, rc`.
+    cmple => Cmple,
+    /// `cmpult ra, rb, rc`.
+    cmpult => Cmpult,
+    /// `cmpule ra, rb, rc`.
+    cmpule => Cmpule,
+    /// `and ra, rb, rc`.
+    and => And,
+    /// `bic ra, rb, rc`.
+    bic => Bic,
+    /// `bis ra, rb, rc`.
+    bis => Bis,
+    /// `ornot ra, rb, rc`.
+    ornot => Ornot,
+    /// `xor ra, rb, rc`.
+    xor => Xor,
+    /// `eqv ra, rb, rc`.
+    eqv => Eqv,
+    /// `cmoveq ra, rb, rc`.
+    cmoveq => Cmoveq,
+    /// `cmovne ra, rb, rc`.
+    cmovne => Cmovne,
+    /// `cmovlt ra, rb, rc`.
+    cmovlt => Cmovlt,
+    /// `cmovge ra, rb, rc`.
+    cmovge => Cmovge,
+    /// `sll ra, rb, rc`.
+    sll => Sll,
+    /// `srl ra, rb, rc`.
+    srl => Srl,
+    /// `sra ra, rb, rc`.
+    sra => Sra,
+    /// `extbl ra, rb, rc`.
+    extbl => Extbl,
+    /// `zapnot ra, rb, rc`.
+    zapnot => Zapnot,
+    /// `mull ra, rb, rc`.
+    mull => Mull,
+    /// `mulq ra, rb, rc`.
+    mulq => Mulq,
+    /// `umulh ra, rb, rc`.
+    umulh => Umulh,
+}
+
+operate_imm_helpers! {
+    /// `addl ra, #lit, rc`.
+    addl_imm => Addl,
+    /// `addq ra, #lit, rc`.
+    addq_imm => Addq,
+    /// `subl ra, #lit, rc`.
+    subl_imm => Subl,
+    /// `subq ra, #lit, rc`.
+    subq_imm => Subq,
+    /// `s8addq ra, #lit, rc`.
+    s8addq_imm => S8addq,
+    /// `cmpeq ra, #lit, rc`.
+    cmpeq_imm => Cmpeq,
+    /// `cmplt ra, #lit, rc`.
+    cmplt_imm => Cmplt,
+    /// `cmple ra, #lit, rc`.
+    cmple_imm => Cmple,
+    /// `cmpult ra, #lit, rc`.
+    cmpult_imm => Cmpult,
+    /// `and ra, #lit, rc`.
+    and_imm => And,
+    /// `bis ra, #lit, rc`.
+    bis_imm => Bis,
+    /// `xor ra, #lit, rc`.
+    xor_imm => Xor,
+    /// `sll ra, #lit, rc`.
+    sll_imm => Sll,
+    /// `srl ra, #lit, rc`.
+    srl_imm => Srl,
+    /// `sra ra, #lit, rc`.
+    sra_imm => Sra,
+    /// `extbl ra, #lit, rc`.
+    extbl_imm => Extbl,
+    /// `zapnot ra, #lit, rc`.
+    zapnot_imm => Zapnot,
+    /// `mull ra, #lit, rc`.
+    mull_imm => Mull,
+}
+
+branch_helpers! {
+    /// `beq ra, target`.
+    beq => Beq,
+    /// `bne ra, target`.
+    bne => Bne,
+    /// `blt ra, target`.
+    blt => Blt,
+    /// `ble ra, target`.
+    ble => Ble,
+    /// `bgt ra, target`.
+    bgt => Bgt,
+    /// `bge ra, target`.
+    bge => Bge,
+    /// `blbc ra, target`.
+    blbc => Blbc,
+    /// `blbs ra, target`.
+    blbs => Blbs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_to_halt, AlignPolicy};
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut asm = Assembler::new(0x1000);
+        let done = asm.label("done");
+        asm.lda_imm(Reg::A0, 3);
+        let top = asm.here("top");
+        asm.subq_imm(Reg::A0, 1, Reg::A0);
+        asm.beq(Reg::A0, done);
+        asm.br(top);
+        asm.bind(done);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let (mut cpu, mut mem) = p.load();
+        let stats = run_to_halt(&mut cpu, &mut mem, &p, AlignPolicy::Enforce, 1000).unwrap();
+        assert_eq!(cpu.read(Reg::A0), 0);
+        assert!(stats.instructions > 5);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Assembler::new(0x1000);
+        let nowhere = asm.label("nowhere");
+        asm.br(nowhere);
+        match asm.finish() {
+            Err(AsmError::UnboundLabel { name }) => assert_eq!(name, "nowhere"),
+            other => panic!("expected unbound label, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Assembler::new(0x1000);
+        let l = asm.label("l");
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn li32_materializes_values() {
+        for value in [0u32, 1, 0x8000, 0xffff, 0x1234_5678, 0xffff_ffff, 0x0001_8000] {
+            let mut asm = Assembler::new(0x1000);
+            asm.li32(Reg::V0, value);
+            asm.halt();
+            let p = asm.finish().unwrap();
+            let (mut cpu, mut mem) = p.load();
+            run_to_halt(&mut cpu, &mut mem, &p, AlignPolicy::Enforce, 100).unwrap();
+            assert_eq!(
+                cpu.read(Reg::V0),
+                value as i32 as i64 as u64,
+                "li32 of {value:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_blocks_are_aligned_and_loaded() {
+        let mut asm = Assembler::new(0x1000);
+        let a = asm.data_block(vec![1, 2, 3]);
+        let b = asm.data_block(vec![9]);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert!(b > a);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let (_, mem) = p.load();
+        assert_eq!(mem.read_u8(a + 2), 3);
+        assert_eq!(mem.read_u8(b), 9);
+    }
+
+    #[test]
+    fn symbols_survive_finish() {
+        let mut asm = Assembler::new(0x1000);
+        asm.nop();
+        asm.here("loop_top");
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.symbol(0x1004), Some("loop_top"));
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut asm = Assembler::new(0x1000);
+        let func = asm.label("func");
+        asm.bsr(func);
+        asm.halt();
+        asm.bind(func);
+        asm.lda_imm(Reg::V0, 7);
+        asm.ret();
+        let p = asm.finish().unwrap();
+        let (mut cpu, mut mem) = p.load();
+        run_to_halt(&mut cpu, &mut mem, &p, AlignPolicy::Enforce, 100).unwrap();
+        assert_eq!(cpu.read(Reg::V0), 7);
+    }
+}

@@ -1,0 +1,214 @@
+//! Alpha instruction decoding (32-bit machine word → decoded form).
+
+use crate::encode::opcode;
+use crate::inst::{BranchOp, Inst, JumpKind, MemOp, OperateOp, Operand, PalFunc};
+use crate::Reg;
+
+#[inline]
+fn field(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1u32 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn ra_of(word: u32) -> Reg {
+    Reg::new(field(word, 25, 21) as u8)
+}
+
+#[inline]
+fn rb_of(word: u32) -> Reg {
+    Reg::new(field(word, 20, 16) as u8)
+}
+
+fn decode_operate(word: u32, opc: u32) -> Option<Inst> {
+    use OperateOp::*;
+    let func = field(word, 11, 5);
+    let op = match (opc, func) {
+        (opcode::INTA, 0x00) => Addl,
+        (opcode::INTA, 0x02) => S4addl,
+        (opcode::INTA, 0x09) => Subl,
+        (opcode::INTA, 0x20) => Addq,
+        (opcode::INTA, 0x22) => S4addq,
+        (opcode::INTA, 0x29) => Subq,
+        (opcode::INTA, 0x32) => S8addq,
+        (opcode::INTA, 0x2b) => S4subq,
+        (opcode::INTA, 0x3b) => S8subq,
+        (opcode::INTA, 0x1d) => Cmpult,
+        (opcode::INTA, 0x2d) => Cmpeq,
+        (opcode::INTA, 0x3d) => Cmpule,
+        (opcode::INTA, 0x4d) => Cmplt,
+        (opcode::INTA, 0x6d) => Cmple,
+        (opcode::INTL, 0x00) => And,
+        (opcode::INTL, 0x08) => Bic,
+        (opcode::INTL, 0x14) => Cmovlbs,
+        (opcode::INTL, 0x16) => Cmovlbc,
+        (opcode::INTL, 0x20) => Bis,
+        (opcode::INTL, 0x24) => Cmoveq,
+        (opcode::INTL, 0x26) => Cmovne,
+        (opcode::INTL, 0x28) => Ornot,
+        (opcode::INTL, 0x40) => Xor,
+        (opcode::INTL, 0x44) => Cmovlt,
+        (opcode::INTL, 0x46) => Cmovge,
+        (opcode::INTL, 0x48) => Eqv,
+        (opcode::INTL, 0x64) => Cmovle,
+        (opcode::INTL, 0x66) => Cmovgt,
+        (opcode::INTS, 0x02) => Mskbl,
+        (opcode::INTS, 0x06) => Extbl,
+        (opcode::INTS, 0x0b) => Insbl,
+        (opcode::INTS, 0x16) => Extwl,
+        (opcode::INTS, 0x26) => Extll,
+        (opcode::INTS, 0x30) => Zap,
+        (opcode::INTS, 0x31) => Zapnot,
+        (opcode::INTS, 0x34) => Srl,
+        (opcode::INTS, 0x36) => Extql,
+        (opcode::INTS, 0x39) => Sll,
+        (opcode::INTS, 0x3c) => Sra,
+        (opcode::INTM, 0x00) => Mull,
+        (opcode::INTM, 0x20) => Mulq,
+        (opcode::INTM, 0x30) => Umulh,
+        _ => return None,
+    };
+    let rb = if field(word, 12, 12) == 1 {
+        Operand::Lit(field(word, 20, 13) as u8)
+    } else {
+        // Bits 15:13 are "should be zero" in the register form; a nonzero
+        // value is not a valid encoding of this subset.
+        if field(word, 15, 13) != 0 {
+            return None;
+        }
+        Operand::Reg(rb_of(word))
+    };
+    Some(Inst::Operate {
+        op,
+        ra: ra_of(word),
+        rb,
+        rc: Reg::new(field(word, 4, 0) as u8),
+    })
+}
+
+/// Decodes a 32-bit Alpha machine word.
+///
+/// Returns `None` for encodings outside the implemented subset (the
+/// interpreter turns those into an illegal-instruction trap).
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{decode, Inst};
+/// assert_eq!(decode(0x47ff041f), Some(Inst::NOP));
+/// ```
+pub fn decode(word: u32) -> Option<Inst> {
+    let opc = field(word, 31, 26);
+    let mem = |op: MemOp| Inst::Mem {
+        op,
+        ra: ra_of(word),
+        rb: rb_of(word),
+        disp: field(word, 15, 0) as u16 as i16,
+    };
+    let branch = |op: BranchOp| {
+        let raw = field(word, 20, 0);
+        // Sign-extend the 21-bit displacement.
+        let disp = ((raw << 11) as i32) >> 11;
+        Inst::Branch {
+            op,
+            ra: ra_of(word),
+            disp,
+        }
+    };
+    Some(match opc {
+        opcode::CALL_PAL => Inst::CallPal {
+            func: PalFunc::from_code(field(word, 25, 0)),
+        },
+        opcode::LDA => mem(MemOp::Lda),
+        opcode::LDAH => mem(MemOp::Ldah),
+        opcode::LDBU => mem(MemOp::Ldbu),
+        opcode::LDWU => mem(MemOp::Ldwu),
+        opcode::LDL => mem(MemOp::Ldl),
+        opcode::LDQ => mem(MemOp::Ldq),
+        opcode::STB => mem(MemOp::Stb),
+        opcode::STW => mem(MemOp::Stw),
+        opcode::STL => mem(MemOp::Stl),
+        opcode::STQ => mem(MemOp::Stq),
+        opcode::INTA | opcode::INTL | opcode::INTS | opcode::INTM => {
+            return decode_operate(word, opc)
+        }
+        opcode::JMP_GROUP => Inst::Jump {
+            kind: JumpKind::from_code(field(word, 15, 14)),
+            ra: ra_of(word),
+            rb: rb_of(word),
+            hint: field(word, 13, 0) as u16,
+        },
+        opcode::BR => branch(BranchOp::Br),
+        opcode::BSR => branch(BranchOp::Bsr),
+        opcode::BLBC => branch(BranchOp::Blbc),
+        opcode::BEQ => branch(BranchOp::Beq),
+        opcode::BLT => branch(BranchOp::Blt),
+        opcode::BLE => branch(BranchOp::Ble),
+        opcode::BLBS => branch(BranchOp::Blbs),
+        opcode::BNE => branch(BranchOp::Bne),
+        opcode::BGE => branch(BranchOp::Bge),
+        opcode::BGT => branch(BranchOp::Bgt),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_rejects_unknown_primary_opcode() {
+        assert_eq!(decode(0x04 << 26), None); // reserved opcode
+        assert_eq!(decode(0x20 << 26), None); // LDF (floating, unimplemented)
+    }
+
+    #[test]
+    fn decode_rejects_unknown_function_code() {
+        // INTA with function 0x7f is not assigned.
+        let word = (0x10 << 26) | (0x7f << 5);
+        assert_eq!(decode(word), None);
+    }
+
+    #[test]
+    fn decode_rejects_nonzero_sbz_bits() {
+        // Register-form operate with bits 15:13 set is malformed.
+        let good = encode(Inst::Operate {
+            op: OperateOp::Addq,
+            ra: Reg::new(1),
+            rb: Operand::Reg(Reg::new(2)),
+            rc: Reg::new(3),
+        })
+        .unwrap();
+        assert!(decode(good).is_some());
+        assert_eq!(decode(good | (0b101 << 13)), None);
+    }
+
+    #[test]
+    fn branch_displacement_sign_extension() {
+        let w = encode(Inst::Branch {
+            op: BranchOp::Bne,
+            ra: Reg::A1,
+            disp: -3,
+        })
+        .unwrap();
+        match decode(w).unwrap() {
+            Inst::Branch { disp, .. } => assert_eq!(disp, -3),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_mem_displacement() {
+        let w = encode(Inst::Mem {
+            op: MemOp::Ldq,
+            ra: Reg::V0,
+            rb: Reg::SP,
+            disp: -16,
+        })
+        .unwrap();
+        match decode(w).unwrap() {
+            Inst::Mem { disp, .. } => assert_eq!(disp, -16),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Alpha disassembly (textual form of decoded instructions).
+
+use crate::inst::{BranchOp, Inst};
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Mem { op, ra, rb, disp } => {
+                write!(f, "{} {ra}, {disp}({rb})", op.mnemonic())
+            }
+            Inst::Branch { op, ra, disp } => match op {
+                BranchOp::Br | BranchOp::Bsr => write!(f, "{} {ra}, {disp:+}", op.mnemonic()),
+                _ => write!(f, "{} {ra}, {disp:+}", op.mnemonic()),
+            },
+            Inst::Jump { kind, ra, rb, .. } => {
+                write!(f, "{} {ra}, ({rb})", kind.mnemonic())
+            }
+            Inst::Operate { op, ra, rb, rc } => {
+                write!(f, "{} {ra}, {rb}, {rc}", op.mnemonic())
+            }
+            Inst::CallPal { func } => write!(f, "call_pal {:#x}", func.code()),
+        }
+    }
+}
+
+/// Disassembles an instruction at a concrete PC, resolving branch targets to
+/// absolute addresses.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{disassemble, Inst, BranchOp, Reg};
+/// let inst = Inst::Branch { op: BranchOp::Bne, ra: Reg::A1, disp: -4 };
+/// assert_eq!(disassemble(0x1010, inst), "bne r17, 0x1004");
+/// ```
+pub fn disassemble(pc: u64, inst: Inst) -> String {
+    match inst {
+        Inst::Branch { op, ra, disp } => {
+            let target = pc
+                .wrapping_add(4)
+                .wrapping_add(((disp as i64) << 2) as u64);
+            match op {
+                BranchOp::Br | BranchOp::Bsr => {
+                    format!("{} {ra}, {target:#x}", op.mnemonic())
+                }
+                _ => format!("{} {ra}, {target:#x}", op.mnemonic()),
+            }
+        }
+        _ => inst.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemOp, OperateOp, Operand, Reg};
+
+    #[test]
+    fn display_forms() {
+        let ld = Inst::Mem {
+            op: MemOp::Ldq,
+            ra: Reg::V0,
+            rb: Reg::SP,
+            disp: 16,
+        };
+        assert_eq!(ld.to_string(), "ldq r0, 16(r30)");
+
+        let op = Inst::Operate {
+            op: OperateOp::Subl,
+            ra: Reg::A1,
+            rb: Operand::Lit(1),
+            rc: Reg::A1,
+        };
+        assert_eq!(op.to_string(), "subl r17, #1, r17");
+
+        assert_eq!(Inst::NOP.to_string(), "bis r31, r31, r31");
+    }
+
+    #[test]
+    fn disassemble_resolves_targets() {
+        let b = Inst::Branch {
+            op: BranchOp::Br,
+            ra: Reg::ZERO,
+            disp: 2,
+        };
+        assert_eq!(disassemble(0x1000, b), "br r31, 0x100c");
+    }
+}

@@ -1,0 +1,265 @@
+//! Alpha instruction encoding (decoded form → 32-bit machine word).
+//!
+//! Field layouts follow the Alpha Architecture Handbook:
+//!
+//! * memory format: `opcode[31:26] ra[25:21] rb[20:16] disp[15:0]`
+//! * branch format: `opcode[31:26] ra[25:21] disp[20:0]`
+//! * memory-format jump: `0x1A ra rb kind[15:14] hint[13:0]`
+//! * operate format: `opcode[31:26] ra[25:21] rb[20:16] 000 0 func[11:5] rc[4:0]`
+//!   (or `lit[20:13] 1 func rc` with an 8-bit literal)
+//! * PALcode format: `0x00 func[25:0]`
+
+use crate::inst::{BranchOp, Inst, MemOp, OperateOp, Operand};
+
+/// Primary opcode assignments for the implemented subset.
+pub(crate) mod opcode {
+    pub const CALL_PAL: u32 = 0x00;
+    pub const LDA: u32 = 0x08;
+    pub const LDAH: u32 = 0x09;
+    pub const LDBU: u32 = 0x0a;
+    pub const LDWU: u32 = 0x0c;
+    pub const STW: u32 = 0x0d;
+    pub const STB: u32 = 0x0e;
+    pub const INTA: u32 = 0x10;
+    pub const INTL: u32 = 0x11;
+    pub const INTS: u32 = 0x12;
+    pub const INTM: u32 = 0x13;
+    pub const JMP_GROUP: u32 = 0x1a;
+    pub const LDL: u32 = 0x28;
+    pub const LDQ: u32 = 0x29;
+    pub const STL: u32 = 0x2c;
+    pub const STQ: u32 = 0x2d;
+    pub const BR: u32 = 0x30;
+    pub const BSR: u32 = 0x34;
+    pub const BLBC: u32 = 0x38;
+    pub const BEQ: u32 = 0x39;
+    pub const BLT: u32 = 0x3a;
+    pub const BLE: u32 = 0x3b;
+    pub const BLBS: u32 = 0x3c;
+    pub const BNE: u32 = 0x3d;
+    pub const BGE: u32 = 0x3e;
+    pub const BGT: u32 = 0x3f;
+}
+
+/// Returns the `(primary opcode, function code)` pair for an operate op.
+pub(crate) fn operate_codes(op: OperateOp) -> (u32, u32) {
+    use opcode::*;
+    use OperateOp::*;
+    match op {
+        Addl => (INTA, 0x00),
+        S4addl => (INTA, 0x02),
+        Subl => (INTA, 0x09),
+        S4addq => (INTA, 0x22),
+        Addq => (INTA, 0x20),
+        Subq => (INTA, 0x29),
+        S8addq => (INTA, 0x32),
+        S4subq => (INTA, 0x2b),
+        S8subq => (INTA, 0x3b),
+        Cmpult => (INTA, 0x1d),
+        Cmpeq => (INTA, 0x2d),
+        Cmpule => (INTA, 0x3d),
+        Cmplt => (INTA, 0x4d),
+        Cmple => (INTA, 0x6d),
+        And => (INTL, 0x00),
+        Bic => (INTL, 0x08),
+        Cmovlbs => (INTL, 0x14),
+        Cmovlbc => (INTL, 0x16),
+        Bis => (INTL, 0x20),
+        Cmoveq => (INTL, 0x24),
+        Cmovne => (INTL, 0x26),
+        Ornot => (INTL, 0x28),
+        Xor => (INTL, 0x40),
+        Cmovlt => (INTL, 0x44),
+        Cmovge => (INTL, 0x46),
+        Eqv => (INTL, 0x48),
+        Cmovle => (INTL, 0x64),
+        Cmovgt => (INTL, 0x66),
+        Mskbl => (INTS, 0x02),
+        Extbl => (INTS, 0x06),
+        Insbl => (INTS, 0x0b),
+        Extwl => (INTS, 0x16),
+        Extll => (INTS, 0x26),
+        Zap => (INTS, 0x30),
+        Zapnot => (INTS, 0x31),
+        Srl => (INTS, 0x34),
+        Extql => (INTS, 0x36),
+        Sll => (INTS, 0x39),
+        Sra => (INTS, 0x3c),
+        Mull => (INTM, 0x00),
+        Mulq => (INTM, 0x20),
+        Umulh => (INTM, 0x30),
+    }
+}
+
+pub(crate) fn mem_opcode(op: MemOp) -> u32 {
+    use opcode::*;
+    match op {
+        MemOp::Lda => LDA,
+        MemOp::Ldah => LDAH,
+        MemOp::Ldbu => LDBU,
+        MemOp::Ldwu => LDWU,
+        MemOp::Ldl => LDL,
+        MemOp::Ldq => LDQ,
+        MemOp::Stb => STB,
+        MemOp::Stw => STW,
+        MemOp::Stl => STL,
+        MemOp::Stq => STQ,
+    }
+}
+
+pub(crate) fn branch_opcode(op: BranchOp) -> u32 {
+    use opcode::*;
+    match op {
+        BranchOp::Br => BR,
+        BranchOp::Bsr => BSR,
+        BranchOp::Blbc => BLBC,
+        BranchOp::Beq => BEQ,
+        BranchOp::Blt => BLT,
+        BranchOp::Ble => BLE,
+        BranchOp::Blbs => BLBS,
+        BranchOp::Bne => BNE,
+        BranchOp::Bge => BGE,
+        BranchOp::Bgt => BGT,
+    }
+}
+
+/// An error produced when an instruction's fields do not fit their encoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// A branch displacement does not fit the signed 21-bit field.
+    BranchDispOutOfRange {
+        /// The offending displacement, in instructions.
+        disp: i32,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::BranchDispOutOfRange { disp } => {
+                write!(f, "branch displacement {disp} exceeds the 21-bit field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encodes a decoded instruction into its 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BranchDispOutOfRange`] if a branch displacement
+/// exceeds the signed 21-bit instruction field.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{encode, decode, Inst, MemOp, Reg};
+/// let inst = Inst::Mem { op: MemOp::Ldq, ra: Reg::V0, rb: Reg::SP, disp: -8 };
+/// let word = encode(inst)?;
+/// assert_eq!(decode(word), Some(inst));
+/// # Ok::<(), alpha_isa::EncodeError>(())
+/// ```
+pub fn encode(inst: Inst) -> Result<u32, EncodeError> {
+    Ok(match inst {
+        Inst::Mem { op, ra, rb, disp } => {
+            (mem_opcode(op) << 26)
+                | ((ra.number() as u32) << 21)
+                | ((rb.number() as u32) << 16)
+                | (disp as u16 as u32)
+        }
+        Inst::Branch { op, ra, disp } => {
+            if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+                return Err(EncodeError::BranchDispOutOfRange { disp });
+            }
+            (branch_opcode(op) << 26)
+                | ((ra.number() as u32) << 21)
+                | ((disp as u32) & 0x001f_ffff)
+        }
+        Inst::Jump { kind, ra, rb, hint } => {
+            (opcode::JMP_GROUP << 26)
+                | ((ra.number() as u32) << 21)
+                | ((rb.number() as u32) << 16)
+                | (kind.code() << 14)
+                | (hint as u32 & 0x3fff)
+        }
+        Inst::Operate { op, ra, rb, rc } => {
+            let (opc, func) = operate_codes(op);
+            let base = (opc << 26) | ((ra.number() as u32) << 21) | ((func & 0x7f) << 5)
+                | (rc.number() as u32);
+            match rb {
+                Operand::Reg(r) => base | ((r.number() as u32) << 16),
+                Operand::Lit(v) => base | ((v as u32) << 13) | (1 << 12),
+            }
+        }
+        Inst::CallPal { func } => (opcode::CALL_PAL << 26) | (func.code() & 0x03ff_ffff),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn known_encodings_match_alpha_manual() {
+        // lda r16, 1(r16) => opcode 0x08, ra=16, rb=16, disp=1
+        let w = encode(Inst::Mem {
+            op: MemOp::Lda,
+            ra: Reg::A0,
+            rb: Reg::A0,
+            disp: 1,
+        })
+        .unwrap();
+        assert_eq!(w, (0x08 << 26) | (16 << 21) | (16 << 16) | 1);
+
+        // The canonical NOP bis r31,r31,r31 = 0x47ff041f.
+        let nop = encode(Inst::NOP).unwrap();
+        assert_eq!(nop, 0x47ff_041f);
+
+        // subl r17, #1, r17 with literal: opcode 0x10 func 0x09 lit form.
+        let w = encode(Inst::Operate {
+            op: OperateOp::Subl,
+            ra: Reg::A1,
+            rb: Operand::Lit(1),
+            rc: Reg::A1,
+        })
+        .unwrap();
+        assert_eq!(
+            w,
+            (0x10 << 26) | (17 << 21) | (1 << 13) | (1 << 12) | (0x09 << 5) | 17
+        );
+    }
+
+    #[test]
+    fn branch_disp_limits() {
+        let ok = Inst::Branch {
+            op: BranchOp::Br,
+            ra: Reg::ZERO,
+            disp: (1 << 20) - 1,
+        };
+        assert!(encode(ok).is_ok());
+        let too_far = Inst::Branch {
+            op: BranchOp::Br,
+            ra: Reg::ZERO,
+            disp: 1 << 20,
+        };
+        assert_eq!(
+            encode(too_far),
+            Err(EncodeError::BranchDispOutOfRange { disp: 1 << 20 })
+        );
+        let neg_ok = Inst::Branch {
+            op: BranchOp::Br,
+            ra: Reg::ZERO,
+            disp: -(1 << 20),
+        };
+        assert!(encode(neg_ok).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let err = EncodeError::BranchDispOutOfRange { disp: 1 << 20 };
+        assert!(err.to_string().contains("21-bit"));
+    }
+}

@@ -1,0 +1,544 @@
+//! Functional execution of decoded Alpha instructions.
+//!
+//! [`step`] executes exactly one instruction against a [`CpuState`] and
+//! [`Memory`], returning a rich [`Outcome`] record (control-flow result,
+//! memory effective address, console output, halt). The interpreter, the
+//! DBT profiler and the trace generators are all built on this single
+//! semantic core, which is what makes the architectural-equivalence tests
+//! meaningful.
+//!
+//! Traps are *precise*: when `step` returns `Err`, neither the register
+//! state, memory, nor the PC has been modified.
+
+use crate::inst::{BranchOp, Inst, JumpKind, MemOp, PalFunc};
+use crate::{CpuState, Memory, Reg, Trap};
+
+/// The control-flow effect of one executed instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Control {
+    /// Fall through to the next sequential instruction.
+    Sequential,
+    /// A conditional branch that was not taken.
+    NotTaken,
+    /// A taken PC-relative branch (conditional or not).
+    Taken {
+        /// Branch target address.
+        target: u64,
+    },
+    /// A register-indirect jump.
+    Indirect {
+        /// Jump flavor (for RAS modeling).
+        kind: JumpKind,
+        /// Jump target address.
+        target: u64,
+    },
+    /// Execution halted (`CALL_PAL halt`).
+    Halt,
+}
+
+impl Control {
+    /// Whether this outcome redirected the PC away from sequential flow.
+    pub fn is_taken(self) -> bool {
+        matches!(self, Control::Taken { .. } | Control::Indirect { .. })
+    }
+}
+
+/// A memory access performed by one instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub bytes: u8,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+/// Everything that happened during one [`step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Outcome {
+    /// The PC of the *next* instruction to execute.
+    pub next_pc: u64,
+    /// Control-flow classification.
+    pub control: Control,
+    /// The memory access, if the instruction touched memory.
+    pub mem: Option<MemAccess>,
+    /// A byte written to the console, if any (`CALL_PAL putchar`).
+    pub output: Option<u8>,
+}
+
+/// Alignment-check policy. The paper's precise-trap experiments need
+/// faulting loads; ordinary runs use `Enforce` as real Alpha hardware does.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub enum AlignPolicy {
+    /// Raise [`Trap::UnalignedAccess`] for misaligned accesses (hardware
+    /// behavior).
+    #[default]
+    Enforce,
+    /// Permit misaligned accesses (useful for synthetic stress tests).
+    Permit,
+}
+
+fn check_align(addr: u64, bytes: u8, policy: AlignPolicy) -> Result<(), Trap> {
+    if policy == AlignPolicy::Enforce && bytes > 1 && addr % bytes as u64 != 0 {
+        return Err(Trap::UnalignedAccess {
+            addr,
+            required: bytes,
+        });
+    }
+    Ok(())
+}
+
+/// Executes one decoded instruction.
+///
+/// On success the CPU state (including `pc`) and memory are updated and the
+/// [`Outcome`] describes what happened. On a trap, no state is modified.
+///
+/// # Errors
+///
+/// Returns the [`Trap`] raised by the instruction (unaligned access or
+/// `gentrap`), with all architected state untouched.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{step, AlignPolicy, CpuState, Inst, Memory, OperateOp, Operand, Reg};
+/// let mut cpu = CpuState::new(0x1000);
+/// let mut mem = Memory::new();
+/// let inc = Inst::Operate {
+///     op: OperateOp::Addq, ra: Reg::V0, rb: Operand::Lit(1), rc: Reg::V0,
+/// };
+/// step(&mut cpu, &mut mem, inc, AlignPolicy::Enforce)?;
+/// assert_eq!(cpu.read(Reg::V0), 1);
+/// assert_eq!(cpu.pc, 0x1004);
+/// # Ok::<(), alpha_isa::Trap>(())
+/// ```
+pub fn step(
+    cpu: &mut CpuState,
+    mem: &mut Memory,
+    inst: Inst,
+    align: AlignPolicy,
+) -> Result<Outcome, Trap> {
+    let pc = cpu.pc;
+    let seq = pc.wrapping_add(4);
+    let mut outcome = Outcome {
+        next_pc: seq,
+        control: Control::Sequential,
+        mem: None,
+        output: None,
+    };
+
+    match inst {
+        Inst::Mem { op, ra, rb, disp } => {
+            let base = cpu.read(rb);
+            match op {
+                MemOp::Lda => cpu.write(ra, base.wrapping_add(disp as i64 as u64)),
+                MemOp::Ldah => {
+                    cpu.write(ra, base.wrapping_add(((disp as i64) << 16) as u64))
+                }
+                _ => {
+                    let addr = base.wrapping_add(disp as i64 as u64);
+                    let bytes = op.access_bytes();
+                    check_align(addr, bytes, align)?;
+                    outcome.mem = Some(MemAccess {
+                        addr,
+                        bytes,
+                        is_store: op.is_store(),
+                    });
+                    match op {
+                        MemOp::Ldbu => cpu.write(ra, mem.read_u8(addr) as u64),
+                        MemOp::Ldwu => cpu.write(ra, mem.read_u16(addr) as u64),
+                        MemOp::Ldl => cpu.write(ra, mem.read_u32(addr) as i32 as i64 as u64),
+                        MemOp::Ldq => cpu.write(ra, mem.read_u64(addr)),
+                        MemOp::Stb => mem.write_u8(addr, cpu.read(ra) as u8),
+                        MemOp::Stw => mem.write_u16(addr, cpu.read(ra) as u16),
+                        MemOp::Stl => mem.write_u32(addr, cpu.read(ra) as u32),
+                        MemOp::Stq => mem.write_u64(addr, cpu.read(ra)),
+                        MemOp::Lda | MemOp::Ldah => unreachable!(),
+                    }
+                }
+            }
+        }
+        Inst::Branch { op, ra, disp } => {
+            let target = seq.wrapping_add(((disp as i64) << 2) as u64);
+            match op {
+                BranchOp::Br | BranchOp::Bsr => {
+                    cpu.write(ra, seq);
+                    outcome.next_pc = target;
+                    outcome.control = Control::Taken { target };
+                }
+                _ => {
+                    if op.taken(cpu.read(ra)) {
+                        outcome.next_pc = target;
+                        outcome.control = Control::Taken { target };
+                    } else {
+                        outcome.control = Control::NotTaken;
+                    }
+                }
+            }
+        }
+        Inst::Jump { kind, ra, rb, .. } => {
+            // Read rb BEFORE writing ra: `ret ra, (ra)` must use the old value.
+            let target = cpu.read(rb) & !3u64;
+            cpu.write(ra, seq);
+            outcome.next_pc = target;
+            outcome.control = Control::Indirect { kind, target };
+        }
+        Inst::Operate { op, ra, rb, rc } => {
+            let a = cpu.read(ra);
+            let b = match rb {
+                crate::Operand::Reg(r) => cpu.read(r),
+                crate::Operand::Lit(v) => v as u64,
+            };
+            if op.is_cmov() {
+                if op.cmov_taken(a) {
+                    cpu.write(rc, b);
+                }
+            } else {
+                cpu.write(rc, op.eval(a, b));
+            }
+        }
+        Inst::CallPal { func } => match func {
+            PalFunc::Halt => {
+                outcome.control = Control::Halt;
+                outcome.next_pc = pc; // halted; PC pinned at the halt
+            }
+            PalFunc::GenTrap => {
+                return Err(Trap::GenTrap {
+                    code: cpu.read(Reg::A0),
+                });
+            }
+            PalFunc::PutChar => {
+                outcome.output = Some(cpu.read(Reg::A0) as u8);
+            }
+            PalFunc::Other(_) => {} // treated as NOP
+        },
+    }
+
+    cpu.pc = outcome.next_pc;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OperateOp, Operand};
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    fn fresh() -> (CpuState, Memory) {
+        (CpuState::new(0x1000), Memory::new())
+    }
+
+    #[test]
+    fn lda_and_ldah_compute_addresses() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(r(2), 0x100);
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Mem {
+                op: MemOp::Lda,
+                ra: r(1),
+                rb: r(2),
+                disp: -8,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.read(r(1)), 0xf8);
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Mem {
+                op: MemOp::Ldah,
+                ra: r(3),
+                rb: Reg::ZERO,
+                disp: 2,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.read(r(3)), 0x2_0000);
+    }
+
+    #[test]
+    fn load_store_roundtrip_and_extension() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(r(1), 0xffff_ffff_9abc_def0);
+        cpu.write(r(2), 0x4000);
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Mem {
+                op: MemOp::Stl,
+                ra: r(1),
+                rb: r(2),
+                disp: 0,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        // LDL sign-extends.
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Mem {
+                op: MemOp::Ldl,
+                ra: r(3),
+                rb: r(2),
+                disp: 0,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.read(r(3)), 0xffff_ffff_9abc_def0);
+        // LDWU zero-extends.
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Mem {
+                op: MemOp::Ldwu,
+                ra: r(4),
+                rb: r(2),
+                disp: 0,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.read(r(4)), 0xdef0);
+    }
+
+    #[test]
+    fn unaligned_access_traps_precisely() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(r(2), 0x4001);
+        let before = cpu.clone();
+        let err = step(
+            &mut cpu,
+            &mut mem,
+            Inst::Mem {
+                op: MemOp::Ldq,
+                ra: r(1),
+                rb: r(2),
+                disp: 0,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            Trap::UnalignedAccess {
+                addr: 0x4001,
+                required: 8
+            }
+        );
+        // Precise: nothing changed, including the PC.
+        assert_eq!(cpu, before);
+    }
+
+    #[test]
+    fn permissive_alignment_allows_misaligned() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(r(2), 0x4001);
+        mem.write_u64(0x4001, 77);
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Mem {
+                op: MemOp::Ldq,
+                ra: r(1),
+                rb: r(2),
+                disp: 0,
+            },
+            AlignPolicy::Permit,
+        )
+        .unwrap();
+        assert_eq!(cpu.read(r(1)), 77);
+    }
+
+    #[test]
+    fn conditional_branch_taken_and_not() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(r(1), 0);
+        let out = step(
+            &mut cpu,
+            &mut mem,
+            Inst::Branch {
+                op: BranchOp::Beq,
+                ra: r(1),
+                disp: 4,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(out.control, Control::Taken { target: 0x1014 });
+        assert_eq!(cpu.pc, 0x1014);
+
+        cpu.write(r(1), 5);
+        let out = step(
+            &mut cpu,
+            &mut mem,
+            Inst::Branch {
+                op: BranchOp::Beq,
+                ra: r(1),
+                disp: 4,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(out.control, Control::NotTaken);
+        assert_eq!(cpu.pc, 0x1018);
+    }
+
+    #[test]
+    fn bsr_links_return_address() {
+        let (mut cpu, mut mem) = fresh();
+        let out = step(
+            &mut cpu,
+            &mut mem,
+            Inst::Branch {
+                op: BranchOp::Bsr,
+                ra: Reg::RA,
+                disp: -2,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.read(Reg::RA), 0x1004);
+        assert_eq!(out.next_pc, 0x0ffc);
+    }
+
+    #[test]
+    fn jump_clears_low_bits_and_links() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(r(2), 0x2003);
+        let out = step(
+            &mut cpu,
+            &mut mem,
+            Inst::Jump {
+                kind: JumpKind::Jsr,
+                ra: Reg::RA,
+                rb: r(2),
+                hint: 0,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.pc, 0x2000);
+        assert_eq!(cpu.read(Reg::RA), 0x1004);
+        assert!(matches!(
+            out.control,
+            Control::Indirect {
+                kind: JumpKind::Jsr,
+                target: 0x2000
+            }
+        ));
+    }
+
+    #[test]
+    fn ret_through_same_register_uses_old_value() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(Reg::RA, 0x3000);
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Jump {
+                kind: JumpKind::Ret,
+                ra: Reg::RA,
+                rb: Reg::RA,
+                hint: 0,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.pc, 0x3000);
+        assert_eq!(cpu.read(Reg::RA), 0x1004);
+    }
+
+    #[test]
+    fn cmov_only_fires_when_condition_met() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(r(1), 0);
+        cpu.write(r(2), 55);
+        cpu.write(r(3), 11);
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Operate {
+                op: OperateOp::Cmovne,
+                ra: r(1),
+                rb: Operand::Reg(r(2)),
+                rc: r(3),
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.read(r(3)), 11, "cmovne with zero test must not move");
+        step(
+            &mut cpu,
+            &mut mem,
+            Inst::Operate {
+                op: OperateOp::Cmoveq,
+                ra: r(1),
+                rb: Operand::Reg(r(2)),
+                rc: r(3),
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(cpu.read(r(3)), 55);
+    }
+
+    #[test]
+    fn halt_pins_pc() {
+        let (mut cpu, mut mem) = fresh();
+        let out = step(
+            &mut cpu,
+            &mut mem,
+            Inst::CallPal {
+                func: PalFunc::Halt,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(out.control, Control::Halt);
+        assert_eq!(cpu.pc, 0x1000);
+    }
+
+    #[test]
+    fn gentrap_reports_code_precisely() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(Reg::A0, 42);
+        let before = cpu.clone();
+        let err = step(
+            &mut cpu,
+            &mut mem,
+            Inst::CallPal {
+                func: PalFunc::GenTrap,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap_err();
+        assert_eq!(err, Trap::GenTrap { code: 42 });
+        assert_eq!(cpu, before);
+    }
+
+    #[test]
+    fn putchar_reports_output() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(Reg::A0, b'x' as u64);
+        let out = step(
+            &mut cpu,
+            &mut mem,
+            Inst::CallPal {
+                func: PalFunc::PutChar,
+            },
+            AlignPolicy::Enforce,
+        )
+        .unwrap();
+        assert_eq!(out.output, Some(b'x'));
+    }
+}

@@ -1,0 +1,169 @@
+//! A plain (non-profiling) Alpha interpreter.
+//!
+//! This is the reference executor: the DBT correctness tests compare the
+//! final architected state of translated execution against what this
+//! interpreter computes.
+
+use crate::exec::{step, AlignPolicy, Control};
+use crate::{CpuState, Memory, Program, Trap};
+
+/// Summary statistics from an interpreter run.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct RunStats {
+    /// Instructions executed (including NOPs).
+    pub instructions: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+    /// Register-indirect jumps executed (including returns).
+    pub indirect_jumps: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Bytes written to the console.
+    pub output: u64,
+}
+
+/// An error terminating interpretation before a clean halt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// A trap was raised at the given PC.
+    Trapped {
+        /// The faulting V-ISA PC.
+        pc: u64,
+        /// The trap condition.
+        trap: Trap,
+    },
+    /// The instruction budget was exhausted before the program halted.
+    BudgetExhausted {
+        /// The PC at which execution stopped.
+        pc: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Trapped { pc, trap } => write!(f, "trap at {pc:#x}: {trap}"),
+            RunError::BudgetExhausted { pc } => {
+                write!(f, "instruction budget exhausted at {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Interprets `program` until it halts or `budget` instructions have run.
+///
+/// # Errors
+///
+/// Returns [`RunError::Trapped`] on any trap, or
+/// [`RunError::BudgetExhausted`] if the program does not halt in time.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{run_to_halt, AlignPolicy, Assembler, Reg};
+/// let mut asm = Assembler::new(0x1000);
+/// asm.lda_imm(Reg::V0, 5);
+/// asm.halt();
+/// let p = asm.finish()?;
+/// let (mut cpu, mut mem) = p.load();
+/// let stats = run_to_halt(&mut cpu, &mut mem, &p, AlignPolicy::Enforce, 100)?;
+/// assert_eq!(stats.instructions, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_to_halt(
+    cpu: &mut CpuState,
+    mem: &mut Memory,
+    program: &Program,
+    align: AlignPolicy,
+    budget: u64,
+) -> Result<RunStats, RunError> {
+    let mut stats = RunStats::default();
+    while stats.instructions < budget {
+        let pc = cpu.pc;
+        let inst = program.fetch(pc).map_err(|trap| RunError::Trapped { pc, trap })?;
+        let outcome =
+            step(cpu, mem, inst, align).map_err(|trap| RunError::Trapped { pc, trap })?;
+        stats.instructions += 1;
+        if inst.is_load() {
+            stats.loads += 1;
+        } else if inst.is_store() {
+            stats.stores += 1;
+        }
+        if inst.is_cond_branch() {
+            stats.cond_branches += 1;
+            if outcome.control.is_taken() {
+                stats.taken_branches += 1;
+            }
+        }
+        if matches!(outcome.control, Control::Indirect { .. }) {
+            stats.indirect_jumps += 1;
+        }
+        if outcome.output.is_some() {
+            stats.output += 1;
+        }
+        if outcome.control == Control::Halt {
+            return Ok(stats);
+        }
+    }
+    Err(RunError::BudgetExhausted { pc: cpu.pc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assembler, Reg};
+
+    #[test]
+    fn stats_count_instruction_classes() {
+        let mut asm = Assembler::new(0x1000);
+        let buf = asm.zero_block(64);
+        asm.li32(Reg::A1, buf as u32);
+        asm.lda_imm(Reg::A0, 4);
+        let top = asm.here("top");
+        asm.stq(Reg::A0, 0, Reg::A1);
+        asm.ldq(Reg::V0, 0, Reg::A1);
+        asm.subq_imm(Reg::A0, 1, Reg::A0);
+        asm.bne(Reg::A0, top);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let (mut cpu, mut mem) = p.load();
+        let stats = run_to_halt(&mut cpu, &mut mem, &p, AlignPolicy::Enforce, 1000).unwrap();
+        assert_eq!(stats.loads, 4);
+        assert_eq!(stats.stores, 4);
+        assert_eq!(stats.cond_branches, 4);
+        assert_eq!(stats.taken_branches, 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut asm = Assembler::new(0x1000);
+        let top = asm.here("spin");
+        asm.br(top);
+        let p = asm.finish().unwrap();
+        let (mut cpu, mut mem) = p.load();
+        let err = run_to_halt(&mut cpu, &mut mem, &p, AlignPolicy::Enforce, 10).unwrap_err();
+        assert!(matches!(err, RunError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn runaway_pc_traps() {
+        let mut asm = Assembler::new(0x1000);
+        asm.nop(); // falls off the end of the code segment
+        let p = asm.finish().unwrap();
+        let (mut cpu, mut mem) = p.load();
+        let err = run_to_halt(&mut cpu, &mut mem, &p, AlignPolicy::Enforce, 10).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Trapped {
+                pc: 0x1004,
+                trap: Trap::AccessViolation { .. }
+            }
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Sparse 64-bit byte-addressable memory.
+//!
+//! Backed by 4 KiB pages allocated on first touch, so programs can scatter
+//! code, stack and heap across the address space without cost. Loads from
+//! untouched memory read zero, matching a zero-filled process image.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse little-endian memory for the simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::Memory;
+/// let mut mem = Memory::new();
+/// mem.write_u64(0x1_0000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1_0000), 0xdead_beef);
+/// assert_eq!(mem.read_u8(0x1_0000), 0xef); // little-endian
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of pages that have been touched.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    fn read_le(&self, addr: u64, bytes: usize) -> u64 {
+        // Fast path: access within one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes <= PAGE_SIZE {
+            match self.page(addr) {
+                Some(p) => {
+                    let mut v = 0u64;
+                    for i in (0..bytes).rev() {
+                        v = (v << 8) | p[off + i] as u64;
+                    }
+                    v
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in (0..bytes).rev() {
+                v = (v << 8) | self.read_u8(addr.wrapping_add(i as u64)) as u64;
+            }
+            v
+        }
+    }
+
+    fn write_le(&mut self, addr: u64, bytes: usize, value: u64) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            let mut v = value;
+            for i in 0..bytes {
+                p[off + i] = v as u8;
+                v >>= 8;
+            }
+        } else {
+            let mut v = value;
+            for i in 0..bytes {
+                self.write_u8(addr.wrapping_add(i as u64), v as u8);
+                v >>= 8;
+            }
+        }
+    }
+
+    /// Reads a little-endian 16-bit value.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        self.read_le(addr, 2) as u16
+    }
+
+    /// Writes a little-endian 16-bit value.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_le(addr, 2, value as u64);
+    }
+
+    /// Reads a little-endian 32-bit value.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_le(addr, 4) as u32
+    }
+
+    /// Writes a little-endian 32-bit value.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_le(addr, 4, value as u64);
+    }
+
+    /// Reads a little-endian 64-bit value.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a little-endian 64-bit value.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_le(addr, 8, value);
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u64(0), 0);
+        assert_eq!(mem.read_u8(u64::MAX), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x100, 0x1234_5678);
+        assert_eq!(mem.read_u8(0x100), 0x78);
+        assert_eq!(mem.read_u8(0x103), 0x12);
+        assert_eq!(mem.read_u16(0x102), 0x1234);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles a page boundary
+        mem.write_u64(addr, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(addr), 0x0102_0304_0506_0708);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut mem = Memory::new();
+        let data = b"hello, alpha";
+        mem.write_bytes(0x2000, data);
+        assert_eq!(mem.read_bytes(0x2000, data.len()), data);
+    }
+
+    #[test]
+    fn wrapping_addresses_do_not_panic() {
+        let mut mem = Memory::new();
+        mem.write_u64(u64::MAX - 3, 0xffff_ffff_ffff_ffff);
+        assert_eq!(mem.read_u8(u64::MAX), 0xff);
+        assert_eq!(mem.read_u8(3), 0xff); // wrapped around
+    }
+}

@@ -1,0 +1,599 @@
+//! A text assembler for the Alpha subset.
+//!
+//! Parses a small, readable dialect into a [`Program`], so guest programs
+//! can be written as text instead of through the [`Assembler`] builder:
+//!
+//! ```text
+//! ; byte-sum a buffer
+//! .bytes buf, 1 2 3 4 5 6 7 8
+//! .zero scratch, 64
+//!         la    a0, buf
+//!         li    a1, 8
+//!         clr   v0
+//! top:    ldbu  t0, 0(a0)
+//!         addq  v0, t0, v0
+//!         lda   a0, 1(a0)
+//!         subq  a1, #1, a1
+//!         bne   a1, top
+//!         halt
+//! ```
+//!
+//! Supported:
+//!
+//! * one instruction or label per line; `label:` may prefix an instruction;
+//! * comments from `;` or `//` to end of line (`#` introduces literals);
+//! * registers by number (`r0`..`r31`) or convention (`v0`, `t0`.., `a0`..,
+//!   `s0`.., `ra`, `pv`, `gp`, `sp`, `zero`);
+//! * operate forms `op ra, rb, rc` and `op ra, #imm, rc`;
+//! * memory forms `op ra, disp(rb)`;
+//! * branches `op ra, label` and `br label` / `bsr label`;
+//! * jumps `jmp (rb)`, `jsr (rb)`, `ret`;
+//! * pseudo-instructions `mov`, `clr`, `nop`, `li reg, imm32`,
+//!   `la reg, data_name`, `halt`, `gentrap`, `putchar`;
+//! * directives `.bytes name, b0 b1 ...`, `.quads name, q0 q1 ...`,
+//!   `.zero name, len`, `.entry` (marks the entry point).
+
+use crate::asm::{AsmError, Assembler, Label};
+use crate::{Program, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced while parsing assembly text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> ParseError {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim();
+    if let Some(num) = t.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) {
+        return Reg::try_new(num).map_or_else(
+            || err(line, format!("register out of range: `{t}`")),
+            Ok,
+        );
+    }
+    for r in Reg::all() {
+        if r.conventional_name() == t {
+            return Ok(r);
+        }
+    }
+    err(line, format!("unknown register `{t}`"))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let t = tok.trim().trim_start_matches('#');
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad integer `{tok}`")),
+    }
+}
+
+fn strip_comment(raw: &str) -> &str {
+    let no_semi = raw.split(';').next().unwrap_or("");
+    no_semi.split("//").next().unwrap_or("").trim()
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    rest.split(',').map(|s| s.trim().to_string()).collect()
+}
+
+/// `disp(rb)` → (disp, rb)
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i16, Reg), ParseError> {
+    let t = tok.trim();
+    let Some(open) = t.find('(') else {
+        return err(line, format!("expected `disp(reg)`, got `{t}`"));
+    };
+    if !t.ends_with(')') {
+        return err(line, format!("expected `disp(reg)`, got `{t}`"));
+    }
+    let disp_str = &t[..open];
+    let disp = if disp_str.is_empty() {
+        0
+    } else {
+        let v = parse_int(disp_str, line)?;
+        i16::try_from(v).map_err(|_| ParseError {
+            line,
+            message: format!("displacement out of range: `{disp_str}`"),
+        })?
+    };
+    let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((disp, reg))
+}
+
+struct Parser<'a> {
+    asm: Assembler,
+    labels: HashMap<String, Label>,
+    data: HashMap<String, u64>,
+    source: &'a str,
+}
+
+impl Parser<'_> {
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(l) = self.labels.get(name) {
+            return *l;
+        }
+        let l = self.asm.label(name);
+        self.labels.insert(name.to_string(), l);
+        l
+    }
+
+    /// Pass 1: allocate data blocks so `la` can reference them anywhere.
+    fn scan_directives(&mut self) -> Result<(), ParseError> {
+        for (ln, raw) in self.source.lines().enumerate() {
+            let line = ln + 1;
+            let text = strip_comment(raw);
+            let Some(rest) = text.strip_prefix('.') else { continue };
+            let (dir, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            match dir {
+                "bytes" | "quads" | "zero" => {
+                    let Some((name, payload)) = args.split_once(',') else {
+                        return err(line, format!(".{dir} needs `name, ...`"));
+                    };
+                    let name = name.trim().to_string();
+                    if self.data.contains_key(&name) {
+                        return err(line, format!("data block `{name}` defined twice"));
+                    }
+                    let bytes = match dir {
+                        "bytes" => payload
+                            .split_whitespace()
+                            .map(|b| parse_int(b, line).map(|v| v as u8))
+                            .collect::<Result<Vec<u8>, _>>()?,
+                        "quads" => {
+                            let mut out = Vec::new();
+                            for q in payload.split_whitespace() {
+                                out.extend_from_slice(
+                                    &(parse_int(q, line)? as u64).to_le_bytes(),
+                                );
+                            }
+                            out
+                        }
+                        _ => {
+                            let len = parse_int(payload, line)?;
+                            if !(0..=(1 << 24)).contains(&len) {
+                                return err(line, format!("bad .zero length {len}"));
+                            }
+                            vec![0u8; len as usize]
+                        }
+                    };
+                    let base = self.asm.data_block(bytes);
+                    self.data.insert(name, base);
+                }
+                "entry" => {} // handled in pass 2 (position matters)
+                other => return err(line, format!("unknown directive `.{other}`")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Pass 2: emit instructions.
+    fn emit_all(&mut self) -> Result<(), ParseError> {
+        for (ln, raw) in self.source.lines().enumerate() {
+            let line = ln + 1;
+            let mut text = strip_comment(raw);
+            if text.is_empty() || text.starts_with('.') {
+                if text == ".entry" {
+                    self.asm.entry_here();
+                }
+                continue;
+            }
+            // Optional label prefix.
+            if let Some(colon) = text.find(':') {
+                let (name, rest) = text.split_at(colon);
+                let name = name.trim();
+                if name.chars().all(|c| c.is_alphanumeric() || c == '_') && !name.is_empty() {
+                    let l = self.label(name);
+                    self.asm.bind(l);
+                    text = rest[1..].trim();
+                    if text.is_empty() {
+                        continue;
+                    }
+                }
+            }
+            self.emit_one(text, line)?;
+        }
+        Ok(())
+    }
+
+    fn emit_one(&mut self, text: &str, line: usize) -> Result<(), ParseError> {
+        let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+        let ops = if rest.trim().is_empty() {
+            Vec::new()
+        } else {
+            split_operands(rest)
+        };
+        let n = ops.len();
+        let arity = |want: usize| -> Result<(), ParseError> {
+            if n == want {
+                Ok(())
+            } else {
+                err(line, format!("`{mnemonic}` takes {want} operands, got {n}"))
+            }
+        };
+
+        macro_rules! op3 {
+            ($reg:ident, $imm:ident) => {{
+                arity(3)?;
+                let ra = parse_reg(&ops[0], line)?;
+                let rc = parse_reg(&ops[2], line)?;
+                if ops[1].starts_with('#') {
+                    let v = parse_int(&ops[1], line)?;
+                    let lit = u8::try_from(v).map_err(|_| ParseError {
+                        line,
+                        message: format!("literal out of range (0..=255): `{}`", ops[1]),
+                    })?;
+                    self.asm.$imm(ra, lit, rc);
+                } else {
+                    let rb = parse_reg(&ops[1], line)?;
+                    self.asm.$reg(ra, rb, rc);
+                }
+            }};
+        }
+        macro_rules! mem {
+            ($m:ident) => {{
+                arity(2)?;
+                let ra = parse_reg(&ops[0], line)?;
+                let (disp, rb) = parse_mem_operand(&ops[1], line)?;
+                self.asm.$m(ra, disp, rb);
+            }};
+        }
+        macro_rules! branch {
+            ($b:ident) => {{
+                arity(2)?;
+                let ra = parse_reg(&ops[0], line)?;
+                let l = self.label(ops[1].as_str());
+                self.asm.$b(ra, l);
+            }};
+        }
+
+        match mnemonic {
+            // memory
+            "lda" => mem!(lda),
+            "ldah" => mem!(ldah),
+            "ldbu" => mem!(ldbu),
+            "ldwu" => mem!(ldwu),
+            "ldl" => mem!(ldl),
+            "ldq" => mem!(ldq),
+            "stb" => mem!(stb),
+            "stw" => mem!(stw),
+            "stl" => mem!(stl),
+            "stq" => mem!(stq),
+            // operate
+            "addl" => op3!(addl, addl_imm),
+            "addq" => op3!(addq, addq_imm),
+            "subl" => op3!(subl, subl_imm),
+            "subq" => op3!(subq, subq_imm),
+            "s8addq" => op3!(s8addq, s8addq_imm),
+            "cmpeq" => op3!(cmpeq, cmpeq_imm),
+            "cmplt" => op3!(cmplt, cmplt_imm),
+            "cmple" => op3!(cmple, cmple_imm),
+            "cmpult" => op3!(cmpult, cmpult_imm),
+            "and" => op3!(and, and_imm),
+            "bis" | "or" => op3!(bis, bis_imm),
+            "xor" => op3!(xor, xor_imm),
+            "sll" => op3!(sll, sll_imm),
+            "srl" => op3!(srl, srl_imm),
+            "sra" => op3!(sra, sra_imm),
+            "mull" => op3!(mull, mull_imm),
+            "zapnot" => op3!(zapnot, zapnot_imm),
+            "extbl" => op3!(extbl, extbl_imm),
+            // three-register-only forms
+            "s4addq" | "bic" | "ornot" | "eqv" | "mulq" | "umulh" | "cmoveq" | "cmovne"
+            | "cmovlt" | "cmovge" => {
+                arity(3)?;
+                let ra = parse_reg(&ops[0], line)?;
+                let rb = parse_reg(&ops[1], line)?;
+                let rc = parse_reg(&ops[2], line)?;
+                match mnemonic {
+                    "s4addq" => self.asm.s4addq(ra, rb, rc),
+                    "bic" => self.asm.bic(ra, rb, rc),
+                    "ornot" => self.asm.ornot(ra, rb, rc),
+                    "eqv" => self.asm.eqv(ra, rb, rc),
+                    "mulq" => self.asm.mulq(ra, rb, rc),
+                    "umulh" => self.asm.umulh(ra, rb, rc),
+                    "cmoveq" => self.asm.cmoveq(ra, rb, rc),
+                    "cmovne" => self.asm.cmovne(ra, rb, rc),
+                    "cmovlt" => self.asm.cmovlt(ra, rb, rc),
+                    _ => self.asm.cmovge(ra, rb, rc),
+                }
+            }
+            // branches
+            "beq" => branch!(beq),
+            "bne" => branch!(bne),
+            "blt" => branch!(blt),
+            "ble" => branch!(ble),
+            "bgt" => branch!(bgt),
+            "bge" => branch!(bge),
+            "blbc" => branch!(blbc),
+            "blbs" => branch!(blbs),
+            "br" => {
+                arity(1)?;
+                let l = self.label(ops[0].as_str());
+                self.asm.br(l);
+            }
+            "bsr" => {
+                arity(1)?;
+                let l = self.label(ops[0].as_str());
+                self.asm.bsr(l);
+            }
+            // jumps
+            "jmp" | "jsr" => {
+                arity(1)?;
+                let t = ops[0].trim();
+                let inner = t
+                    .strip_prefix('(')
+                    .and_then(|s| s.strip_suffix(')'))
+                    .ok_or_else(|| ParseError {
+                        line,
+                        message: format!("`{mnemonic}` takes `(reg)`, got `{t}`"),
+                    })?;
+                let rb = parse_reg(inner, line)?;
+                if mnemonic == "jmp" {
+                    self.asm.jmp(Reg::ZERO, rb);
+                } else {
+                    self.asm.jsr(Reg::RA, rb);
+                }
+            }
+            "ret" => {
+                arity(0)?;
+                self.asm.ret();
+            }
+            // pseudo
+            "mov" => {
+                arity(2)?;
+                let a = parse_reg(&ops[0], line)?;
+                let b = parse_reg(&ops[1], line)?;
+                self.asm.mov(a, b);
+            }
+            "clr" => {
+                arity(1)?;
+                let a = parse_reg(&ops[0], line)?;
+                self.asm.clr(a);
+            }
+            "nop" => {
+                arity(0)?;
+                self.asm.nop();
+            }
+            "li" => {
+                arity(2)?;
+                let a = parse_reg(&ops[0], line)?;
+                let v = parse_int(&ops[1], line)?;
+                if let Ok(small) = i16::try_from(v) {
+                    self.asm.lda_imm(a, small);
+                } else if (0..=u32::MAX as i64).contains(&v) {
+                    self.asm.li32(a, v as u32);
+                } else {
+                    return err(line, format!("`li` immediate out of range: {v}"));
+                }
+            }
+            "la" => {
+                arity(2)?;
+                let a = parse_reg(&ops[0], line)?;
+                let name = ops[1].trim();
+                let Some(&base) = self.data.get(name) else {
+                    return err(line, format!("unknown data block `{name}`"));
+                };
+                self.asm.li32(a, base as u32);
+            }
+            "halt" => {
+                arity(0)?;
+                self.asm.halt();
+            }
+            "gentrap" => {
+                arity(0)?;
+                self.asm.gentrap();
+            }
+            "putchar" => {
+                arity(0)?;
+                self.asm.putchar();
+            }
+            other => return err(line, format!("unknown mnemonic `{other}`")),
+        }
+        Ok(())
+    }
+}
+
+/// Parses assembly text into a loadable [`Program`], placing code at
+/// `code_base`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending source line for syntax
+/// errors, unknown mnemonics/registers, out-of-range operands, duplicate
+/// data blocks, or unbound labels.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{parse_program, run_to_halt, AlignPolicy, Reg};
+/// let program = parse_program(
+///     "
+///     li   a0, 5
+///     clr  v0
+/// top: addq v0, a0, v0
+///     subq a0, #1, a0
+///     bne  a0, top
+///     halt
+///     ",
+///     0x1_0000,
+/// )?;
+/// let (mut cpu, mut mem) = program.load();
+/// run_to_halt(&mut cpu, &mut mem, &program, AlignPolicy::Enforce, 1_000)?;
+/// assert_eq!(cpu.read(Reg::V0), 5 + 4 + 3 + 2 + 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_program(source: &str, code_base: u64) -> Result<Program, ParseError> {
+    let mut p = Parser {
+        asm: Assembler::new(code_base),
+        labels: HashMap::new(),
+        data: HashMap::new(),
+        source,
+    };
+    p.scan_directives()?;
+    p.emit_all()?;
+    Ok(p.asm.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_to_halt, AlignPolicy};
+
+    #[test]
+    fn parses_and_runs_the_module_example() {
+        let program = parse_program(
+            "
+            ; byte-sum a buffer
+            .bytes buf, 1 2 3 4 5 6 7 8
+            .zero scratch, 64
+                    la    a0, buf
+                    li    a1, 8
+                    clr   v0
+            top:    ldbu  t0, 0(a0)
+                    addq  v0, t0, v0
+                    lda   a0, 1(a0)
+                    subq  a1, #1, a1
+                    bne   a1, top
+                    halt
+            ",
+            0x1_0000,
+        )
+        .unwrap();
+        let (mut cpu, mut mem) = program.load();
+        run_to_halt(&mut cpu, &mut mem, &program, AlignPolicy::Enforce, 1_000).unwrap();
+        assert_eq!(cpu.read(Reg::V0), 36);
+    }
+
+    #[test]
+    fn calls_and_data_quads() {
+        let program = parse_program(
+            "
+            .quads values, 10 20 30
+            .entry
+                la   a0, values
+                ldq  a1, 8(a0)    ; 20
+                bsr  double
+                halt
+            double:
+                addq a1, a1, v0
+                ret
+            ",
+            0x1_0000,
+        )
+        .unwrap();
+        let (mut cpu, mut mem) = program.load();
+        run_to_halt(&mut cpu, &mut mem, &program, AlignPolicy::Enforce, 1_000).unwrap();
+        assert_eq!(cpu.read(Reg::V0), 40);
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic_with_line() {
+        let e = parse_program("  frobnicate r1, r2\n", 0x1000).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn reports_bad_register() {
+        let e = parse_program("addq r1, r99, r3\n", 0x1000).unwrap_err();
+        assert!(e.message.contains("r99"), "{e}");
+    }
+
+    #[test]
+    fn reports_unbound_label() {
+        let e = parse_program("br nowhere\nhalt\n", 0x1000).unwrap_err();
+        assert!(e.message.contains("nowhere"), "{e}");
+    }
+
+    #[test]
+    fn reports_literal_out_of_range() {
+        let e = parse_program("addq r1, #300, r3\n", 0x1000).unwrap_err();
+        assert!(e.message.contains("300"), "{e}");
+    }
+
+    #[test]
+    fn reports_duplicate_data_block() {
+        let e = parse_program(".zero a, 8\n.zero a, 8\nhalt\n", 0x1000).unwrap_err();
+        assert!(e.message.contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let program = parse_program(
+            "
+            li  t0, 0x10
+            lda t1, -4(t0)
+            halt
+            ",
+            0x1000,
+        )
+        .unwrap();
+        let (mut cpu, mut mem) = program.load();
+        run_to_halt(&mut cpu, &mut mem, &program, AlignPolicy::Enforce, 100).unwrap();
+        assert_eq!(cpu.read(Reg::new(2)), 12);
+    }
+
+    #[test]
+    fn conventional_and_numbered_registers_agree() {
+        let program = parse_program("li r16, 7\nmov a0, v0\nhalt\n", 0x1000).unwrap();
+        let (mut cpu, mut mem) = program.load();
+        run_to_halt(&mut cpu, &mut mem, &program, AlignPolicy::Enforce, 100).unwrap();
+        assert_eq!(cpu.read(Reg::V0), 7);
+    }
+
+    #[test]
+    fn jumps_through_registers() {
+        let program = parse_program(
+            "
+            .entry
+               li   t0, 0x1010   ; address of `target`
+               jmp  (t0)
+               halt              ; skipped
+               halt              ; skipped
+            target:
+               li   v0, 9
+               halt
+            ",
+            0x1000,
+        )
+        .unwrap();
+        let (mut cpu, mut mem) = program.load();
+        run_to_halt(&mut cpu, &mut mem, &program, AlignPolicy::Enforce, 100).unwrap();
+        assert_eq!(cpu.read(Reg::V0), 9);
+    }
+}

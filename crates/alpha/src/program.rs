@@ -1,0 +1,257 @@
+//! Loadable Alpha program images.
+//!
+//! A [`Program`] is the reproduction's stand-in for an executable: a code
+//! segment of 32-bit machine words, zero or more initialized data segments,
+//! an entry point and an initial stack pointer. The DBT system consumes the
+//! *machine words* — exactly as a real co-designed VM sees a binary — not
+//! any higher-level structure the assembler had.
+
+use crate::{decode, CpuState, Inst, Memory, Reg, Trap};
+use std::collections::BTreeMap;
+
+/// An initialized data segment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataSegment {
+    /// Base byte address.
+    pub base: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete, loadable program image.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{Assembler, Reg};
+/// let mut asm = Assembler::new(0x1_0000);
+/// asm.halt();
+/// let program = asm.finish()?;
+/// let (cpu, mem) = program.load();
+/// assert_eq!(cpu.pc, 0x1_0000);
+/// # Ok::<(), alpha_isa::AsmError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    code_base: u64,
+    code: Vec<u32>,
+    data: Vec<DataSegment>,
+    entry: u64,
+    initial_sp: u64,
+    symbols: BTreeMap<u64, String>,
+}
+
+impl Program {
+    /// Default initial stack pointer used when none is specified.
+    pub const DEFAULT_SP: u64 = 0x7fff_0000;
+
+    /// Creates a program from raw machine words.
+    pub fn new(code_base: u64, code: Vec<u32>) -> Program {
+        Program {
+            code_base,
+            code,
+            data: Vec::new(),
+            entry: code_base,
+            initial_sp: Program::DEFAULT_SP,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the entry point (defaults to the code base).
+    pub fn with_entry(mut self, entry: u64) -> Program {
+        self.entry = entry;
+        self
+    }
+
+    /// Sets the initial stack pointer.
+    pub fn with_initial_sp(mut self, sp: u64) -> Program {
+        self.initial_sp = sp;
+        self
+    }
+
+    /// Adds an initialized data segment.
+    pub fn with_data(mut self, base: u64, bytes: Vec<u8>) -> Program {
+        self.data.push(DataSegment { base, bytes });
+        self
+    }
+
+    /// Records a symbol name for an address (used by the disassembler).
+    pub fn with_symbol(mut self, addr: u64, name: impl Into<String>) -> Program {
+        self.symbols.insert(addr, name.into());
+        self
+    }
+
+    /// The code segment base address.
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+
+    /// The code segment machine words.
+    pub fn code(&self) -> &[u32] {
+        &self.code
+    }
+
+    /// One past the last code byte.
+    pub fn code_end(&self) -> u64 {
+        self.code_base + (self.code.len() as u64) * 4
+    }
+
+    /// The entry PC.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// The initial stack pointer.
+    pub fn initial_sp(&self) -> u64 {
+        self.initial_sp
+    }
+
+    /// Initialized data segments.
+    pub fn data_segments(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// Static code size in bytes (the paper's Table 2 reports code
+    /// expansion relative to this).
+    pub fn code_bytes(&self) -> usize {
+        self.code.len() * 4
+    }
+
+    /// Symbol name for `addr`, if one was recorded.
+    pub fn symbol(&self, addr: u64) -> Option<&str> {
+        self.symbols.get(&addr).map(String::as_str)
+    }
+
+    /// All symbols in address order.
+    pub fn symbols(&self) -> impl Iterator<Item = (u64, &str)> {
+        self.symbols.iter().map(|(a, n)| (*a, n.as_str()))
+    }
+
+    /// Whether `pc` lies inside the code segment (and is word-aligned).
+    pub fn contains_pc(&self, pc: u64) -> bool {
+        pc % 4 == 0 && pc >= self.code_base && pc < self.code_end()
+    }
+
+    /// Fetches the machine word at `pc`.
+    ///
+    /// Returns `None` when `pc` is outside the code segment.
+    pub fn fetch_word(&self, pc: u64) -> Option<u32> {
+        if !self.contains_pc(pc) {
+            return None;
+        }
+        Some(self.code[((pc - self.code_base) / 4) as usize])
+    }
+
+    /// Fetches and decodes the instruction at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::IllegalInstruction`] for undecodable words and
+    /// [`Trap::AccessViolation`] for a PC outside the code segment.
+    pub fn fetch(&self, pc: u64) -> Result<Inst, Trap> {
+        let word = self
+            .fetch_word(pc)
+            .ok_or(Trap::AccessViolation { addr: pc })?;
+        decode(word).ok_or(Trap::IllegalInstruction { word })
+    }
+
+    /// Renders a disassembly listing of the whole code segment, one line
+    /// per instruction, with symbol names where labels were recorded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use alpha_isa::{Assembler, Reg};
+    /// let mut asm = Assembler::new(0x1000);
+    /// asm.here("main");
+    /// asm.lda_imm(Reg::V0, 1);
+    /// asm.halt();
+    /// let listing = asm.finish().unwrap().disassembly();
+    /// assert!(listing.contains("main:"));
+    /// assert!(listing.contains("lda r0, 1(r31)"));
+    /// ```
+    pub fn disassembly(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, &word) in self.code.iter().enumerate() {
+            let pc = self.code_base + (i as u64) * 4;
+            if let Some(name) = self.symbol(pc) {
+                let _ = writeln!(out, "{name}:");
+            }
+            match crate::decode(word) {
+                Some(inst) => {
+                    let _ = writeln!(out, "  {pc:#010x}: {}", crate::disassemble(pc, inst));
+                }
+                None => {
+                    let _ = writeln!(out, "  {pc:#010x}: .word {word:#010x}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the initial architectural state: a CPU at the entry point with
+    /// the stack pointer set, and memory with code and data loaded.
+    pub fn load(&self) -> (CpuState, Memory) {
+        let mut mem = Memory::new();
+        for (i, w) in self.code.iter().enumerate() {
+            mem.write_u32(self.code_base + (i as u64) * 4, *w);
+        }
+        for seg in &self.data {
+            mem.write_bytes(seg.base, &seg.bytes);
+        }
+        let mut cpu = CpuState::new(self.entry);
+        cpu.write(Reg::SP, self.initial_sp);
+        (cpu, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn fetch_bounds_and_alignment() {
+        let nop = encode(Inst::NOP).unwrap();
+        let p = Program::new(0x1000, vec![nop, nop]);
+        assert!(p.contains_pc(0x1000));
+        assert!(p.contains_pc(0x1004));
+        assert!(!p.contains_pc(0x1008));
+        assert!(!p.contains_pc(0x1002));
+        assert!(p.fetch(0x1000).is_ok());
+        assert_eq!(
+            p.fetch(0x0ffc),
+            Err(Trap::AccessViolation { addr: 0x0ffc })
+        );
+    }
+
+    #[test]
+    fn illegal_word_reported() {
+        let p = Program::new(0x1000, vec![0x04 << 26]);
+        assert_eq!(
+            p.fetch(0x1000),
+            Err(Trap::IllegalInstruction { word: 0x04 << 26 })
+        );
+    }
+
+    #[test]
+    fn load_places_code_data_and_sp() {
+        let nop = encode(Inst::NOP).unwrap();
+        let p = Program::new(0x1000, vec![nop])
+            .with_data(0x8000, vec![1, 2, 3])
+            .with_initial_sp(0x9000)
+            .with_entry(0x1000);
+        let (cpu, mem) = p.load();
+        assert_eq!(mem.read_u32(0x1000), nop);
+        assert_eq!(mem.read_u8(0x8002), 3);
+        assert_eq!(cpu.read(Reg::SP), 0x9000);
+    }
+
+    #[test]
+    fn symbols_recorded() {
+        let p = Program::new(0, vec![]).with_symbol(0x40, "main");
+        assert_eq!(p.symbol(0x40), Some("main"));
+        assert_eq!(p.symbols().count(), 1);
+    }
+}

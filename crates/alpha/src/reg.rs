@@ -1,0 +1,165 @@
+//! Alpha integer register identifiers.
+//!
+//! The Alpha architecture has 32 general-purpose 64-bit integer registers,
+//! `R0`..`R31`. `R31` reads as zero and discards writes. The standard
+//! calling convention assigns software names (`v0`, `t0`.., `ra`, `sp`, ...)
+//! which the disassembler uses.
+
+use std::fmt;
+
+/// An Alpha integer register number in `0..=31`.
+///
+/// `Reg` is a validated newtype: constructing one via [`Reg::new`] panics on
+/// out-of-range input, so every `Reg` in the system is known-good.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::Reg;
+/// let ra = Reg::RA;
+/// assert_eq!(ra.number(), 26);
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Return-value register `R0` (`v0`).
+    pub const V0: Reg = Reg(0);
+    /// First argument register `R16` (`a0`).
+    pub const A0: Reg = Reg(16);
+    /// Second argument register `R17` (`a1`).
+    pub const A1: Reg = Reg(17);
+    /// Third argument register `R18` (`a2`).
+    pub const A2: Reg = Reg(18);
+    /// Return-address register `R26` (`ra`).
+    pub const RA: Reg = Reg(26);
+    /// Procedure-value register `R27` (`pv`), used for indirect calls.
+    pub const PV: Reg = Reg(27);
+    /// Global pointer `R29` (`gp`).
+    pub const GP: Reg = Reg(29);
+    /// Stack pointer `R30` (`sp`).
+    pub const SP: Reg = Reg(30);
+    /// The always-zero register `R31`.
+    pub const ZERO: Reg = Reg(31);
+
+    /// Creates a register from its architectural number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    #[inline]
+    pub const fn new(n: u8) -> Reg {
+        assert!(n < 32, "alpha register number out of range");
+        Reg(n)
+    }
+
+    /// Creates a register if `n` is in range, `None` otherwise.
+    #[inline]
+    pub const fn try_new(n: u8) -> Option<Reg> {
+        if n < 32 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The architectural register number, in `0..=31`.
+    #[inline]
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is `R31`, the hardwired zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+
+    /// Iterates over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// The conventional software name (`v0`, `t0`, `ra`, ...).
+    pub const fn conventional_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4",
+            "s5", "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9", "t10", "t11", "ra", "pv",
+            "at", "gp", "sp", "zero",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}({})", self.0, self.conventional_name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_numbers() {
+        assert_eq!(Reg::V0.number(), 0);
+        assert_eq!(Reg::A0.number(), 16);
+        assert_eq!(Reg::RA.number(), 26);
+        assert_eq!(Reg::SP.number(), 30);
+        assert_eq!(Reg::ZERO.number(), 31);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::V0.is_zero());
+    }
+
+    #[test]
+    fn all_yields_32_unique() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.number() as usize, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn try_new_boundary() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+    }
+
+    #[test]
+    fn display_and_names() {
+        assert_eq!(Reg::new(5).to_string(), "r5");
+        assert_eq!(Reg::RA.conventional_name(), "ra");
+        assert_eq!(Reg::ZERO.conventional_name(), "zero");
+    }
+}

@@ -1,0 +1,71 @@
+//! Trap conditions raised by Alpha execution.
+//!
+//! In the co-designed VM these are the events that must be delivered
+//! *precisely*: the trapping V-ISA instruction's address and all architected
+//! state up to (but not including) it must be recoverable. See the paper's
+//! Section 2.2.
+
+use std::fmt;
+
+/// A precise trap condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Trap {
+    /// A memory access whose address is not naturally aligned for its size.
+    UnalignedAccess {
+        /// The faulting effective address.
+        addr: u64,
+        /// The required alignment in bytes.
+        required: u8,
+    },
+    /// An access outside the program's mapped segments (used when a memory
+    /// bounds policy is installed; the bare interpreter maps everything).
+    AccessViolation {
+        /// The faulting effective address.
+        addr: u64,
+    },
+    /// A `CALL_PAL gentrap` — a deliberate, program-requested trap.
+    GenTrap {
+        /// The value of `a0` at the trap, identifying the cause.
+        code: u64,
+    },
+    /// An instruction word outside the implemented subset.
+    IllegalInstruction {
+        /// The undecodable machine word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Trap::UnalignedAccess { addr, required } => {
+                write!(f, "unaligned {required}-byte access at {addr:#x}")
+            }
+            Trap::AccessViolation { addr } => write!(f, "access violation at {addr:#x}"),
+            Trap::GenTrap { code } => write!(f, "gentrap with code {code}"),
+            Trap::IllegalInstruction { word } => {
+                write!(f, "illegal instruction word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Trap::UnalignedAccess {
+                addr: 0x1001,
+                required: 8
+            }
+            .to_string(),
+            "unaligned 8-byte access at 0x1001"
+        );
+        assert!(Trap::GenTrap { code: 3 }.to_string().contains("code 3"));
+    }
+}

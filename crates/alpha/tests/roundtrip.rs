@@ -1,0 +1,206 @@
+//! Property tests: encode/decode round-tripping and semantic invariants.
+
+use alpha_isa::{
+    decode, encode, step, AlignPolicy, BranchOp, CpuState, Inst, JumpKind, MemOp, Memory,
+    OperateOp, Operand, PalFunc, Reg,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        Just(MemOp::Lda),
+        Just(MemOp::Ldah),
+        Just(MemOp::Ldbu),
+        Just(MemOp::Ldwu),
+        Just(MemOp::Ldl),
+        Just(MemOp::Ldq),
+        Just(MemOp::Stb),
+        Just(MemOp::Stw),
+        Just(MemOp::Stl),
+        Just(MemOp::Stq),
+    ]
+}
+
+fn arb_branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Br),
+        Just(BranchOp::Bsr),
+        Just(BranchOp::Beq),
+        Just(BranchOp::Bne),
+        Just(BranchOp::Blt),
+        Just(BranchOp::Ble),
+        Just(BranchOp::Bgt),
+        Just(BranchOp::Bge),
+        Just(BranchOp::Blbc),
+        Just(BranchOp::Blbs),
+    ]
+}
+
+fn arb_operate_op() -> impl Strategy<Value = OperateOp> {
+    use OperateOp::*;
+    prop_oneof![
+        prop_oneof![
+            Just(Addl),
+            Just(Addq),
+            Just(Subl),
+            Just(Subq),
+            Just(S4addl),
+            Just(S4addq),
+            Just(S8addq),
+            Just(S4subq),
+            Just(S8subq),
+        ],
+        prop_oneof![
+            Just(Cmpeq),
+            Just(Cmplt),
+            Just(Cmple),
+            Just(Cmpult),
+            Just(Cmpule),
+        ],
+        prop_oneof![
+            Just(And),
+            Just(Bic),
+            Just(Bis),
+            Just(Ornot),
+            Just(Xor),
+            Just(Eqv),
+        ],
+        prop_oneof![
+            Just(Cmoveq),
+            Just(Cmovne),
+            Just(Cmovlt),
+            Just(Cmovge),
+            Just(Cmovle),
+            Just(Cmovgt),
+            Just(Cmovlbs),
+            Just(Cmovlbc),
+        ],
+        prop_oneof![
+            Just(Sll),
+            Just(Srl),
+            Just(Sra),
+            Just(Extbl),
+            Just(Extwl),
+            Just(Extll),
+            Just(Extql),
+            Just(Insbl),
+            Just(Mskbl),
+            Just(Zapnot),
+            Just(Zap),
+        ],
+        prop_oneof![Just(Mull), Just(Mulq), Just(Umulh)],
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_mem_op(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, ra, rb, disp)| Inst::Mem { op, ra, rb, disp }),
+        (arb_branch_op(), arb_reg(), -(1i32 << 20)..(1i32 << 20))
+            .prop_map(|(op, ra, disp)| Inst::Branch { op, ra, disp }),
+        (
+            prop_oneof![
+                Just(JumpKind::Jmp),
+                Just(JumpKind::Jsr),
+                Just(JumpKind::Ret),
+                Just(JumpKind::JsrCoroutine)
+            ],
+            arb_reg(),
+            arb_reg(),
+            0u16..(1 << 14),
+        )
+            .prop_map(|(kind, ra, rb, hint)| Inst::Jump { kind, ra, rb, hint }),
+        (
+            arb_operate_op(),
+            arb_reg(),
+            prop_oneof![arb_reg().prop_map(Operand::Reg), any::<u8>().prop_map(Operand::Lit)],
+            arb_reg(),
+        )
+            .prop_map(|(op, ra, rb, rc)| Inst::Operate { op, ra, rb, rc }),
+        prop_oneof![
+            Just(PalFunc::Halt),
+            Just(PalFunc::GenTrap),
+            Just(PalFunc::PutChar)
+        ]
+        .prop_map(|func| Inst::CallPal { func }),
+    ]
+}
+
+proptest! {
+    /// Every constructible instruction encodes, and decoding the encoding
+    /// yields the identical instruction.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let word = encode(inst).expect("in-range instruction must encode");
+        prop_assert_eq!(decode(word), Some(inst));
+    }
+
+    /// Decoding any word either fails or re-encodes to the same word
+    /// (decode is the partial inverse of encode).
+    #[test]
+    fn decode_encode_consistent(word in any::<u32>()) {
+        if let Some(inst) = decode(word) {
+            let reenc = encode(inst).expect("decoded instruction must re-encode");
+            prop_assert_eq!(reenc, word);
+        }
+    }
+
+    /// R31 destination writes never change register state.
+    #[test]
+    fn r31_writes_discarded(op in arb_operate_op(), a in any::<u64>(), b in any::<u64>()) {
+        let mut cpu = CpuState::new(0x1000);
+        let mut mem = Memory::new();
+        cpu.write(Reg::new(1), a);
+        cpu.write(Reg::new(2), b);
+        let before = cpu.registers();
+        let inst = Inst::Operate {
+            op,
+            ra: Reg::new(1),
+            rb: Operand::Reg(Reg::new(2)),
+            rc: Reg::ZERO,
+        };
+        step(&mut cpu, &mut mem, inst, AlignPolicy::Enforce).unwrap();
+        prop_assert_eq!(cpu.registers(), before);
+    }
+
+    /// A trapping step leaves all architected state untouched (precision).
+    #[test]
+    fn traps_are_precise(base in any::<u64>(), disp in any::<i16>()) {
+        let mut cpu = CpuState::new(0x1000);
+        let mut mem = Memory::new();
+        cpu.write(Reg::new(2), base);
+        let inst = Inst::Mem { op: MemOp::Ldq, ra: Reg::new(1), rb: Reg::new(2), disp };
+        let before = (cpu.clone(), cpu.pc);
+        match step(&mut cpu, &mut mem, inst, AlignPolicy::Enforce) {
+            Ok(_) => {}
+            Err(_) => {
+                prop_assert_eq!(cpu, before.0);
+            }
+        }
+    }
+
+    /// Operate evaluation is deterministic and total for all inputs.
+    #[test]
+    fn operate_eval_total(op in arb_operate_op(), a in any::<u64>(), b in any::<u64>()) {
+        let v1 = op.eval(a, b);
+        let v2 = op.eval(a, b);
+        prop_assert_eq!(v1, v2);
+        // 32-bit ops must produce canonical sign-extended results.
+        if matches!(op, OperateOp::Addl | OperateOp::Subl | OperateOp::Mull | OperateOp::S4addl) {
+            prop_assert_eq!(v1, v1 as u32 as i32 as i64 as u64);
+        }
+    }
+
+    /// Compare operations produce only 0 or 1.
+    #[test]
+    fn compares_are_boolean(a in any::<u64>(), b in any::<u64>()) {
+        for op in [OperateOp::Cmpeq, OperateOp::Cmplt, OperateOp::Cmple,
+                   OperateOp::Cmpult, OperateOp::Cmpule] {
+            prop_assert!(op.eval(a, b) <= 1);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! End-to-end benchmark: the full co-designed VM (interpret → translate →
+//! execute with the ILDP timing model) over a small workload — the
+//! pipeline every figure-reproduction binary exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ildp_bench::{run_ildp, run_original, run_straightened, IldpParams};
+use ildp_core::ChainPolicy;
+use ildp_isa::IsaForm;
+use spec_workloads::by_name;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let w = by_name("gzip", 1).expect("gzip exists");
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(w.budget));
+
+    group.bench_function("vm_ildp_modified_gzip", |b| {
+        b.iter(|| run_ildp(&w, IsaForm::Modified, IldpParams::default()))
+    });
+    group.bench_function("vm_ildp_basic_gzip", |b| {
+        b.iter(|| run_ildp(&w, IsaForm::Basic, IldpParams::default()))
+    });
+    group.bench_function("straightened_gzip", |b| {
+        b.iter(|| run_straightened(&w, ChainPolicy::SwPredDualRas))
+    });
+    group.bench_function("original_superscalar_gzip", |b| {
+        b.iter(|| run_original(&w, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the DBT hot path: superblock collection analysis,
+//! strand planning and code emission — the work the paper's §4.2 overhead
+//! numbers account for.
+
+use alpha_isa::{Assembler, Reg};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ildp_core::{
+    analyze, collect_superblock, decompose, plan, ChainPolicy, ProfileConfig, Superblock,
+    Translator,
+};
+use ildp_isa::IsaForm;
+
+/// A ~40-instruction superblock with mixed ALU/memory/branch content.
+fn sample_superblock() -> Superblock {
+    let mut asm = Assembler::new(0x1_0000);
+    let buf = asm.zero_block(4096);
+    asm.li32(Reg::A0, buf as u32);
+    asm.lda_imm(Reg::A1, 1000);
+    let top = asm.here("top");
+    for k in 0..4 {
+        asm.ldq(Reg::new(1), k * 8, Reg::A0);
+        asm.sll_imm(Reg::new(1), 3, Reg::new(2));
+        asm.xor(Reg::new(1), Reg::new(2), Reg::new(2));
+        asm.addq(Reg::V0, Reg::new(2), Reg::V0);
+        asm.stq(Reg::new(2), k * 8 + 32, Reg::A0);
+        asm.cmplt_imm(Reg::new(2), 100, Reg::new(3));
+        let skip = asm.label(format!("skip{k}"));
+        asm.beq(Reg::new(3), skip);
+        asm.addq_imm(Reg::V0, 1, Reg::V0);
+        asm.bind(skip);
+    }
+    asm.lda(Reg::A0, 64, Reg::A0);
+    asm.subq_imm(Reg::A1, 1, Reg::A1);
+    asm.bne(Reg::A1, top);
+    asm.halt();
+    let program = asm.finish().unwrap();
+    let (mut cpu, mut mem) = program.load();
+    // Reach the loop top, then collect.
+    let inst = program.fetch(cpu.pc).unwrap();
+    alpha_isa::step(&mut cpu, &mut mem, inst, alpha_isa::AlignPolicy::Enforce).unwrap();
+    let inst = program.fetch(cpu.pc).unwrap();
+    alpha_isa::step(&mut cpu, &mut mem, inst, alpha_isa::AlignPolicy::Enforce).unwrap();
+    let inst = program.fetch(cpu.pc).unwrap();
+    alpha_isa::step(&mut cpu, &mut mem, inst, alpha_isa::AlignPolicy::Enforce).unwrap();
+    collect_superblock(&mut cpu, &mut mem, &program, &ProfileConfig::default()).unwrap()
+}
+
+fn bench_translator(c: &mut Criterion) {
+    let sb = sample_superblock();
+    assert!(sb.len() > 30, "superblock is {} instructions", sb.len());
+
+    c.bench_function("decompose_40inst_superblock", |b| {
+        b.iter(|| decompose(std::hint::black_box(&sb)))
+    });
+
+    let nodes = decompose(&sb);
+    c.bench_function("classify_40inst_superblock", |b| {
+        b.iter(|| analyze(std::hint::black_box(&nodes)))
+    });
+
+    let df = analyze(&nodes);
+    c.bench_function("plan_strands_4acc", |b| {
+        b.iter(|| plan(std::hint::black_box(&nodes), &df, 4, true))
+    });
+
+    for form in [IsaForm::Basic, IsaForm::Modified] {
+        let tr = Translator {
+            form,
+            chain: ChainPolicy::SwPredDualRas,
+            acc_count: 4,
+        fuse_memory: false,
+    };
+        c.bench_function(&format!("translate_40inst_{form:?}"), |b| {
+            b.iter_batched(
+                || sb.clone(),
+                |sb| tr.translate(std::hint::black_box(&sb)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_translator);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Runs every table/figure binary's experiment in sequence — the one-shot
+//! regeneration entry point recorded in EXPERIMENTS.md.
+//!
+//! `ILDP_SCALE` controls the workload scale (default 10).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1_params",
+        "table2_stats",
+        "fig4_chaining",
+        "fig5_expansion",
+        "fig6_straightening",
+        "fig7_usage",
+        "fig8_ipc",
+        "fig9_sweep",
+        "ablation_fusion",
+        "ablation_sweep",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n######## {bin} ########\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

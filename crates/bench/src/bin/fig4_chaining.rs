@@ -1,0 +1,41 @@
+//! Figure 4: branch/jump mispredictions per 1,000 instructions for the
+//! chaining implementations — `original` vs `no_pred` vs `sw_pred.no_ras`
+//! vs `sw_pred.ras` — on the conventional superscalar.
+//!
+//! Paper shape: `no_pred` is worst (every indirect jump funnels through
+//! one dispatch-code BTB entry); software prediction roughly halves it
+//! but stays well above the original; the dual-address RAS brings it back
+//! to nearly the original level.
+
+use ildp_bench::{harness_scale, run_original, run_straightened, Table};
+use ildp_core::ChainPolicy;
+use spec_workloads::suite;
+
+fn main() {
+    let scale = harness_scale();
+    let mut table = Table::new(
+        "Figure 4 — mispredictions per 1,000 V-ISA instructions",
+        &["original", "no_pred", "sw_pred.no_ras", "sw_pred.ras"],
+    );
+    for w in suite(scale) {
+        let original = run_original(&w, true).timing;
+        let no_pred = run_straightened(&w, ChainPolicy::NoPred).timing;
+        let sw = run_straightened(&w, ChainPolicy::SwPred).timing;
+        let ras = run_straightened(&w, ChainPolicy::SwPredDualRas).timing;
+        table.row(
+            w.name,
+            &[
+                original.mispredicts_per_kilo_v_inst(),
+                no_pred.mispredicts_per_kilo_v_inst(),
+                sw.mispredicts_per_kilo_v_inst(),
+                ras.mispredicts_per_kilo_v_inst(),
+            ],
+        );
+    }
+    print!("{}", table.render());
+    let avg = table.averages();
+    println!(
+        "\nshape check: no_pred {:.1} > sw_pred {:.1} > ras {:.1} vs original {:.1}",
+        avg[1], avg[2], avg[3], avg[0]
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 6: performance impact of code straightening and the hardware
+//! RAS — IPC of the original program with and without a RAS versus the
+//! straightened version without RAS and with the dual-address RAS.
+//!
+//! Paper shape: straightened-without-RAS loses to the original (chaining
+//! overhead eats the straightening benefit); straightened with the
+//! dual-address RAS is about level with the original-with-RAS.
+
+use ildp_bench::{harness_scale, run_original, run_straightened, Table};
+use ildp_core::ChainPolicy;
+use spec_workloads::suite;
+
+fn main() {
+    let scale = harness_scale();
+    let mut table = Table::new(
+        "Figure 6 — IPC: straightening and RAS",
+        &[
+            "orig.no_ras",
+            "orig.ras",
+            "straight.no_ras",
+            "straight.ras",
+        ],
+    );
+    for w in suite(scale) {
+        let o_no = run_original(&w, false).timing;
+        let o_ras = run_original(&w, true).timing;
+        let s_no = run_straightened(&w, ChainPolicy::SwPred).timing;
+        let s_ras = run_straightened(&w, ChainPolicy::SwPredDualRas).timing;
+        table.row(
+            w.name,
+            &[o_no.ipc(), o_ras.ipc(), s_no.v_ipc(), s_ras.v_ipc()],
+        );
+    }
+    print!("{}", table.render());
+    let avg = table.averages();
+    println!(
+        "\nshape check: straight.ras/orig.ras = {:.3} (paper: ≈1.0); \
+         straight.no_ras/orig.no_ras = {:.3} (paper: <1.0)",
+        avg[3] / avg[1],
+        avg[2] / avg[0]
+    );
+}

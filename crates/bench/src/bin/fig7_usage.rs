@@ -1,0 +1,80 @@
+//! Figure 7: output register value usage ("globalness") statistics over
+//! dynamic instructions in superblocks, for the basic and modified ISA
+//! forms.
+//!
+//! Paper shape: for the modified ISA about 25% of dynamic values are
+//! global (live-out + communication); adding the basic ISA's forced
+//! copies (`local→global`, `no user→global`) raises the share needing GPR
+//! writes to about 40%.
+
+use ildp_bench::{harness_scale, run_dbt_functional, Table};
+use ildp_core::UsageCat;
+use ildp_isa::IsaForm;
+use spec_workloads::suite;
+
+fn pct(stats: &ildp_core::VmStats, cats: &[UsageCat]) -> f64 {
+    let total: u64 = stats.engine.categories.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n: u64 = cats
+        .iter()
+        .map(|c| stats.engine.categories.get(c).copied().unwrap_or(0))
+        .sum();
+    n as f64 * 100.0 / total as f64
+}
+
+/// Static global share under oracle boundaries (no saves at side exits),
+/// the paper's [28] comparison point.
+fn oracle_global_pct(stats: &ildp_core::VmStats) -> f64 {
+    let total: u64 = stats.oracle_categories.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let global: u64 = stats
+        .oracle_categories
+        .iter()
+        .filter(|(c, _)| c.is_global())
+        .map(|(_, n)| *n)
+        .sum();
+    global as f64 * 100.0 / total as f64
+}
+
+fn main() {
+    let scale = harness_scale();
+    let columns = [
+        "no user", "local", "temp", "global", "local>g", "nouser>g", "spill",
+    ];
+    for form in [IsaForm::Basic, IsaForm::Modified] {
+        let mut table = Table::new(
+            format!("Figure 7 — output register usage, {form:?} ISA (% of values)"),
+            &columns,
+        )
+        .precision(1);
+        let mut global_with_copies = Vec::new();
+        let mut oracle = Vec::new();
+        for w in suite(scale) {
+            let s = run_dbt_functional(&w, form);
+            oracle.push(oracle_global_pct(&s));
+            let row = [
+                pct(&s, &[UsageCat::NoUser]),
+                pct(&s, &[UsageCat::Local]),
+                pct(&s, &[UsageCat::Temp]),
+                pct(&s, &[UsageCat::LiveOut, UsageCat::Communication]),
+                pct(&s, &[UsageCat::LocalToGlobal]),
+                pct(&s, &[UsageCat::NoUserToGlobal]),
+                pct(&s, &[UsageCat::Spill]),
+            ];
+            global_with_copies.push(row[3] + row[4] + row[5] + row[6]);
+            table.row(w.name, &row);
+        }
+        print!("{}", table.render());
+        let avg: f64 = global_with_copies.iter().sum::<f64>() / global_with_copies.len() as f64;
+        let oracle_avg: f64 = oracle.iter().sum::<f64>() / oracle.len() as f64;
+        println!(
+            "total needing GPR availability: {avg:.1}% \
+             (paper: ≈40% basic incl. copies, ≈25% modified); \
+             oracle boundaries: {oracle_avg:.1}% static (paper [28]: ≈20%)\n"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 9: ILDP IPC sensitivity to machine parameters — accumulator
+//! count, replicated L1 D-cache size, global communication latency, and
+//! processing-element count (modified ISA).
+//!
+//! Paper shape: 8 accumulators gain ≈11% over 4; the quarter-size D-cache
+//! barely matters at SPEC test scale; 2-cycle global communication costs
+//! only ≈3.4%; 6 PEs lose ≈5% to 8 PEs while 4 PEs lag by ≈18%.
+
+use ildp_bench::{harness_scale, run_ildp, IldpParams, Table};
+use ildp_isa::IsaForm;
+use spec_workloads::suite;
+
+fn main() {
+    let scale = harness_scale();
+    let configs: [(&str, IldpParams); 6] = [
+        (
+            "8acc/8PE/32K/0c",
+            IldpParams {
+                acc_count: 8,
+                ..IldpParams::default()
+            },
+        ),
+        ("4acc/8PE/32K/0c", IldpParams::default()),
+        (
+            "4acc/8PE/8K/0c",
+            IldpParams {
+                big_dcache: false,
+                ..IldpParams::default()
+            },
+        ),
+        (
+            "4acc/8PE/32K/2c",
+            IldpParams {
+                comm_latency: 2,
+                ..IldpParams::default()
+            },
+        ),
+        (
+            "4acc/6PE/32K/0c",
+            IldpParams {
+                pe_count: 6,
+                ..IldpParams::default()
+            },
+        ),
+        (
+            "4acc/4PE/32K/0c",
+            IldpParams {
+                pe_count: 4,
+                ..IldpParams::default()
+            },
+        ),
+    ];
+    let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+    let mut table = Table::new("Figure 9 — ILDP IPC over machine parameters", &names);
+    for w in suite(scale) {
+        let row: Vec<f64> = configs
+            .iter()
+            .map(|(_, p)| run_ildp(&w, IsaForm::Modified, *p).timing.v_ipc())
+            .collect();
+        table.row(w.name, &row);
+    }
+    print!("{}", table.render());
+    let avg = table.averages();
+    println!(
+        "\nshape check vs baseline (4acc/8PE/32K/0c = {:.3}):\n\
+         \u{20}  8 accumulators: {:+.1}% (paper +11%)\n\
+         \u{20}  8KB D-cache:    {:+.1}% (paper ≈0%)\n\
+         \u{20}  2-cycle comm:   {:+.1}% (paper -3.4%)\n\
+         \u{20}  6 PEs:          {:+.1}% (paper -5%)\n\
+         \u{20}  4 PEs:          {:+.1}% (paper -18%)",
+        avg[1],
+        (avg[0] / avg[1] - 1.0) * 100.0,
+        (avg[2] / avg[1] - 1.0) * 100.0,
+        (avg[3] / avg[1] - 1.0) * 100.0,
+        (avg[4] / avg[1] - 1.0) * 100.0,
+        (avg[5] / avg[1] - 1.0) * 100.0,
+    );
+}

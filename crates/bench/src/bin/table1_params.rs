@@ -1,0 +1,59 @@
+//! Table 1: the microarchitecture parameters of the two simulated
+//! machines, as configured in `ildp-uarch` defaults.
+
+use ildp_uarch::{IldpConfig, SuperscalarConfig};
+
+fn main() {
+    let ss = SuperscalarConfig::default();
+    let ildp = IldpConfig::default();
+    println!("== Table 1 — microarchitecture parameters ==\n");
+    println!("                         superscalar            ILDP");
+    println!(
+        "branch prediction        {}K-entry {}-bit gshare, {}-entry RAS, {}-entry {}-way BTB",
+        ss.predictors.gshare_entries / 1024,
+        ss.predictors.history_bits,
+        ss.predictors.ras_depth,
+        ss.predictors.btb_entries,
+        ss.predictors.btb_ways
+    );
+    println!(
+        "redirect latency         {} cycles (misfetch and mispredict)",
+        ss.redirect_penalty
+    );
+    println!(
+        "I-cache                  {} KB direct-mapped, {}-byte lines",
+        ss.icache.size_bytes / 1024,
+        ss.icache.line_bytes
+    );
+    println!(
+        "D-cache                  {} KB {}-way, {}-cycle    {} KB {}-way (replicated option: 8 KB 2-way)",
+        ss.dcache.size_bytes / 1024,
+        ss.dcache.ways,
+        ss.latencies.l1_hit,
+        ildp.dcache.size_bytes / 1024,
+        ildp.dcache.ways
+    );
+    println!(
+        "L2                       {} MB {}-way, {}-cycle; memory {}-cycle",
+        ss.l2.size_bytes / 1024 / 1024,
+        ss.l2.ways,
+        ss.latencies.l2_hit,
+        ss.latencies.memory
+    );
+    println!(
+        "reorder buffer           {} entries             {} entries",
+        ss.rob_size, ildp.rob_size
+    );
+    println!(
+        "decode/retire width      {}                       {}",
+        ss.width, ildp.width
+    );
+    println!(
+        "issue                    {}-wide OoO window {}   {} in-order PE FIFOs",
+        ss.fus, ss.rob_size, ildp.pe_count
+    );
+    println!(
+        "communication latency    0                       {} cycles (0 or 2 evaluated)",
+        ildp.comm_latency
+    );
+}

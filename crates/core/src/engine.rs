@@ -1,0 +1,739 @@
+//! The translated-code execution engine.
+//!
+//! Stands in for the ILDP hardware's functional execution of I-ISA
+//! fragments: it executes installed fragments against the architected
+//! state, streams one [`DynInst`] record per retired instruction into a
+//! [`TraceSink`] (the timing models), performs the runtime halves of
+//! fragment chaining — the architectural dual-address RAS, the shared
+//! dispatch code (modelled at its paper cost of 20 instructions), and
+//! `call-translator` exits back to the VM — and delivers **precise traps**
+//! by merging accumulator-resident architected values from the fragment's
+//! recovery tables (paper §2.2).
+
+use crate::fragment::{FragmentId, TranslationCache, DISPATCH_COST_INSTS, DISPATCH_IADDR};
+use crate::classify::UsageCat;
+use alpha_isa::{AlignPolicy, CpuState, JumpKind, Memory, Reg, Trap};
+use ildp_isa::{ASrc, Acc, IInst, ITarget, MemWidth};
+use ildp_uarch::{DynInst, InstClass};
+use std::collections::HashMap;
+
+/// Consumes the retired-instruction stream.
+pub trait TraceSink {
+    /// Receives one retired instruction.
+    fn retire(&mut self, inst: &DynInst);
+}
+
+/// A sink that discards the trace (functional-only runs).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn retire(&mut self, _inst: &DynInst) {}
+}
+
+impl<T: ildp_uarch::TimingModel> TraceSink for T {
+    fn retire(&mut self, inst: &DynInst) {
+        ildp_uarch::TimingModel::retire(self, inst);
+    }
+}
+
+/// Why the engine returned to the VM.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FragExit {
+    /// Control reached a V-address with no translated fragment (a
+    /// `call-translator` exit or a dispatch miss).
+    NotTranslated {
+        /// The continuation V-address.
+        vtarget: u64,
+    },
+    /// The program halted.
+    Halt,
+    /// The engine's V-ISA instruction budget was exhausted mid-run.
+    Budget,
+    /// A precise trap: the faulting V-address, the condition, and the
+    /// fully recovered architected register state.
+    Trap {
+        /// Faulting V-ISA instruction address.
+        vaddr: u64,
+        /// The trap condition.
+        trap: Trap,
+        /// Recovered architected registers (r0..r31).
+        state: Box<[u64; 32]>,
+    },
+}
+
+/// Execution statistics accumulated by the engine (the dynamic side of
+/// Table 2 and Figure 7).
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Total I-ISA instructions executed (including dispatch expansion).
+    pub executed: u64,
+    /// Chaining-overhead instructions executed (including dispatch).
+    pub chain_executed: u64,
+    /// Copy instructions executed.
+    pub copies_executed: u64,
+    /// V-ISA instructions retired by translated code.
+    pub v_insts: u64,
+    /// Dynamic usage-category counts (Figure 7).
+    pub categories: HashMap<UsageCat, u64>,
+    /// Shared-dispatch executions.
+    pub dispatches: u64,
+    /// Architectural dual-RAS predictions that matched.
+    pub ras_hits: u64,
+    /// Architectural dual-RAS mismatches (fell through to dispatch).
+    pub ras_misses: u64,
+    /// Fragment entries.
+    pub fragment_entries: u64,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Instructions charged per shared-dispatch execution (paper: 20).
+    pub dispatch_cost: u32,
+    /// Architectural dual-RAS depth.
+    pub ras_depth: usize,
+    /// Alignment policy for translated memory accesses.
+    pub align: AlignPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            dispatch_cost: DISPATCH_COST_INSTS,
+            ras_depth: 8,
+            align: AlignPolicy::Enforce,
+        }
+    }
+}
+
+/// Base address of the dispatch code's hash-table probes (for D-cache
+/// behavior of the dispatch loads).
+const DISPATCH_TABLE_BASE: u64 = 0xE000_0000;
+
+/// The fragment execution engine. See the module documentation.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    accs: [u64; Acc::MAX_ACCUMULATORS],
+    ras: Vec<(u64, u64)>,
+    ras_top: usize,
+    ras_live: usize,
+    /// Bytes written by `putchar`.
+    pub output: Vec<u8>,
+    /// Accumulated statistics.
+    pub stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            accs: [0; Acc::MAX_ACCUMULATORS],
+            ras: vec![(0, 0); config.ras_depth],
+            ras_top: 0,
+            ras_live: 0,
+            output: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn ras_push(&mut self, v: u64, i: u64) {
+        self.ras_top = (self.ras_top + 1) % self.ras.len();
+        self.ras[self.ras_top] = (v, i);
+        self.ras_live = (self.ras_live + 1).min(self.ras.len());
+    }
+
+    fn ras_pop(&mut self) -> Option<(u64, u64)> {
+        if self.ras_live == 0 {
+            return None;
+        }
+        let pair = self.ras[self.ras_top];
+        self.ras_top = (self.ras_top + self.ras.len() - 1) % self.ras.len();
+        self.ras_live -= 1;
+        Some(pair)
+    }
+
+    fn val(&self, src: ASrc, acc: Acc, cpu: &CpuState) -> u64 {
+        match src {
+            ASrc::Acc => self.accs[acc.index()],
+            ASrc::Gpr(r) => cpu.read(r),
+            ASrc::Imm(v) => v as i64 as u64,
+        }
+    }
+
+    /// Recovers the full architected register state at a PEI (paper §2.2):
+    /// the GPR file merged with accumulator-resident values.
+    fn recover_state(
+        &self,
+        cache: &TranslationCache,
+        fid: FragmentId,
+        idx: u32,
+        cpu: &CpuState,
+    ) -> Box<[u64; 32]> {
+        let mut state = Box::new(cpu.registers());
+        if let Some(entries) = cache.fragment(fid).recovery.get(&idx) {
+            for e in entries {
+                state[e.reg.number() as usize] = self.accs[e.acc.index()];
+            }
+        }
+        state
+    }
+
+    /// Builds the base trace record for an instruction.
+    fn record(&self, inst: &IInst, pc: u64, form: ildp_isa::IsaForm) -> DynInst {
+        let mut d = DynInst::alu(pc, inst.size_bytes(form) as u8);
+        let reads = inst.gpr_reads();
+        d.srcs = [
+            reads[0].map(|r| r.number()),
+            reads[1].map(|r| r.number()),
+            None,
+        ];
+        d.dst = inst.gpr_write().map(|r| r.number());
+        let uses_acc = inst.reads_acc() || inst.writes_acc();
+        d.acc = if uses_acc {
+            inst.acc().map(|a| a.number())
+        } else {
+            None
+        };
+        d.acc_read = inst.reads_acc();
+        d.acc_write = inst.writes_acc();
+        d
+    }
+
+    /// Emits the shared dispatch code's cost (paper: 20 instructions,
+    /// ending in the indirect jump that `no_pred` chaining stresses) and
+    /// returns the I-address the final jump lands on.
+    fn run_dispatch(
+        &mut self,
+        vtarget: u64,
+        target_iaddr: Option<u64>,
+        sink: &mut dyn TraceSink,
+    ) {
+        self.stats.dispatches += 1;
+        let n = self.config.dispatch_cost.max(2);
+        // A short dependence chain: hash the V-PC, probe the translation
+        // table (two loads), compare, then jump indirect.
+        let hash = vtarget.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48;
+        let probe = DISPATCH_TABLE_BASE + (hash & 0xfff) * 16;
+        for k in 0..n {
+            let pc = DISPATCH_IADDR + (k as u64) * 4;
+            let mut d = DynInst::alu(pc, 4);
+            d.vcount = 0;
+            // Thread a dependence chain through scratch register names
+            // 200.. so the dispatch has realistic ILP (~4-deep chain).
+            let scratch = 200 + (k % 4) as u8;
+            d.dst = Some(scratch);
+            if k > 0 {
+                d.srcs[0] = Some(200 + ((k - 1) % 4) as u8);
+            }
+            if k == 2 || k == 3 {
+                d.class = InstClass::Load;
+                d.mem_addr = Some(probe + (k as u64 - 2) * 8);
+            }
+            if k == n - 1 {
+                d.class = InstClass::IndirectJump;
+                d.dst = None;
+                d.next_pc = target_iaddr.unwrap_or(DISPATCH_IADDR);
+                d.taken = true;
+            }
+            self.stats.executed += 1;
+            self.stats.chain_executed += 1;
+            sink.retire(&d);
+        }
+    }
+
+    /// Executes translated code starting at `entry` until the program
+    /// halts, traps, or reaches an untranslated continuation.
+    ///
+    /// `cpu` is the architected GPR file (`cpu.pc` is not used while in
+    /// translated code — the implementation PC sequences fragments, as in
+    /// the paper's §2.2).
+    pub fn run(
+        &mut self,
+        cache: &mut TranslationCache,
+        entry: FragmentId,
+        cpu: &mut CpuState,
+        mem: &mut Memory,
+        budget_v: u64,
+        sink: &mut dyn TraceSink,
+    ) -> FragExit {
+        let mut fid = entry;
+        let mut idx: usize = 0;
+        cache.fragment_mut(fid).entries += 1;
+        self.stats.fragment_entries += 1;
+        loop {
+            if self.stats.v_insts >= budget_v {
+                return FragExit::Budget;
+            }
+            let frag = cache.fragment(fid);
+            debug_assert!(idx < frag.insts.len(), "fragment fell off its end");
+            let inst = frag.insts[idx];
+            let meta = frag.meta[idx];
+            let pc = frag.iaddrs[idx];
+            let next_pc = frag
+                .iaddrs
+                .get(idx + 1)
+                .copied()
+                .unwrap_or(pc + inst.size_bytes(frag.form) as u64);
+            let form = frag.form;
+
+            let mut d = self.record(&inst, pc, form);
+            d.next_pc = next_pc;
+            d.vcount = meta.vcount;
+
+            self.stats.executed += 1;
+            self.stats.v_insts += meta.vcount as u64;
+            if meta.is_chain {
+                self.stats.chain_executed += 1;
+            }
+            if inst.is_copy() {
+                self.stats.copies_executed += 1;
+            }
+            if let Some(cat) = meta.category {
+                *self.stats.categories.entry(cat).or_insert(0) += 1;
+            }
+
+            // Control decision made while executing; `None` means fall
+            // through to idx + 1.
+            let mut goto: Option<u64> = None; // I-address to continue at
+            let mut exit: Option<FragExit> = None;
+
+            let acc = inst.acc().unwrap_or(Acc::new(0));
+            match inst {
+                IInst::Op { op, lhs, rhs, dst, .. } => {
+                    let a = self.val(lhs, acc, cpu);
+                    let b = self.val(rhs, acc, cpu);
+                    let result = if op.is_cmov() {
+                        // Defensive: cmov ops in Op form select against the
+                        // current accumulator value.
+                        if op.cmov_taken(a) {
+                            b
+                        } else {
+                            self.accs[acc.index()]
+                        }
+                    } else {
+                        op.eval(a, b)
+                    };
+                    if op.is_multiply() {
+                        d.class = InstClass::IntMul;
+                    }
+                    self.accs[acc.index()] = result;
+                    if let Some(r) = dst {
+                        cpu.write(r, result);
+                    }
+                }
+                IInst::AddHigh { src, imm, dst, .. } => {
+                    let base = self.val(src, acc, cpu);
+                    let result = base.wrapping_add(((imm as i64) << 16) as u64);
+                    self.accs[acc.index()] = result;
+                    if let Some(r) = dst {
+                        cpu.write(r, result);
+                    }
+                }
+                IInst::CmovSelect { lbs, value, old, dst, .. } => {
+                    let test = self.accs[acc.index()];
+                    let taken = (test & 1 == 1) == lbs;
+                    let result = if taken {
+                        self.val(value, acc, cpu)
+                    } else {
+                        cpu.read(old)
+                    };
+                    self.accs[acc.index()] = result;
+                    if let Some(r) = dst {
+                        cpu.write(r, result);
+                    }
+                }
+                IInst::Load { width, addr, disp, dst, .. } => {
+                    d.class = InstClass::Load;
+                    let a = self
+                        .val(addr, acc, cpu)
+                        .wrapping_add(disp as i64 as u64);
+                    match check_align(a, width, self.config.align) {
+                        Err(trap) => {
+                            exit = Some(FragExit::Trap {
+                                vaddr: meta.vaddr,
+                                trap,
+                                state: self.recover_state(cache, fid, idx as u32, cpu),
+                            });
+                        }
+                        Ok(()) => {
+                            d.mem_addr = Some(a);
+                            let v = match width {
+                                MemWidth::U8 => mem.read_u8(a) as u64,
+                                MemWidth::U16 => mem.read_u16(a) as u64,
+                                MemWidth::I32 => mem.read_u32(a) as i32 as i64 as u64,
+                                MemWidth::U64 => mem.read_u64(a),
+                            };
+                            self.accs[acc.index()] = v;
+                            if let Some(r) = dst {
+                                cpu.write(r, v);
+                            }
+                        }
+                    }
+                }
+                IInst::Store { width, addr, disp, value, .. } => {
+                    d.class = InstClass::Store;
+                    let a = self
+                        .val(addr, acc, cpu)
+                        .wrapping_add(disp as i64 as u64);
+                    match check_align(a, width, self.config.align) {
+                        Err(trap) => {
+                            exit = Some(FragExit::Trap {
+                                vaddr: meta.vaddr,
+                                trap,
+                                state: self.recover_state(cache, fid, idx as u32, cpu),
+                            });
+                        }
+                        Ok(()) => {
+                            d.mem_addr = Some(a);
+                            let v = self.val(value, acc, cpu);
+                            match width {
+                                MemWidth::U8 => mem.write_u8(a, v as u8),
+                                MemWidth::U16 => mem.write_u16(a, v as u16),
+                                MemWidth::I32 => mem.write_u32(a, v as u32),
+                                MemWidth::U64 => mem.write_u64(a, v),
+                            }
+                        }
+                    }
+                }
+                IInst::CopyToGpr { dst, .. } => {
+                    cpu.write(dst, self.accs[acc.index()]);
+                }
+                IInst::CopyFromGpr { src, .. } => {
+                    self.accs[acc.index()] = cpu.read(src);
+                }
+                IInst::CondBranch { cond, src, target, .. } => {
+                    d.class = InstClass::CondBranch;
+                    let taken = cond.eval(self.val(src, acc, cpu));
+                    d.taken = taken;
+                    if taken {
+                        let ITarget::Addr(a) = target else {
+                            panic!("unresolved local branch target")
+                        };
+                        d.next_pc = a;
+                        goto = Some(a);
+                    }
+                }
+                IInst::Branch { target } => {
+                    d.class = InstClass::Branch;
+                    d.taken = true;
+                    let ITarget::Addr(a) = target else {
+                        panic!("unresolved branch target")
+                    };
+                    d.next_pc = a;
+                    goto = Some(a);
+                }
+                IInst::IndirectJump { kind, addr, .. } => {
+                    debug_assert_eq!(kind, JumpKind::Ret, "only returns reach the engine");
+                    d.class = InstClass::Return;
+                    let actual_v = self.val(addr, acc, cpu) & !3u64;
+                    d.v_target = actual_v;
+                    match self.ras_pop() {
+                        Some((v, i)) if v == actual_v => {
+                            self.stats.ras_hits += 1;
+                            d.taken = true;
+                            d.next_pc = i;
+                            // A stale I-address (the cache was flushed since
+                            // the push) behaves like an unresolved push.
+                            let stale =
+                                i != DISPATCH_IADDR && cache.lookup_iaddr(i).is_none();
+                            if i == DISPATCH_IADDR || stale {
+                                // Unresolved push: architecturally correct,
+                                // goes through dispatch.
+                                sink.retire(&d);
+                                let target = cache.lookup(actual_v);
+                                let ti = target
+                                    .map(|t| cache.fragment(t).istart);
+                                self.run_dispatch(actual_v, ti, sink);
+                                match target {
+                                    Some(t) => {
+                                        fid = t;
+                                        idx = 0;
+                                        cache.fragment_mut(fid).entries += 1;
+                                        self.stats.fragment_entries += 1;
+                                        continue;
+                                    }
+                                    None => {
+                                        return FragExit::NotTranslated { vtarget: actual_v }
+                                    }
+                                }
+                            }
+                            goto = Some(i);
+                        }
+                        _ => {
+                            // Mismatch: fall through to the dispatch
+                            // instruction that follows the return.
+                            self.stats.ras_misses += 1;
+                            d.taken = false;
+                        }
+                    }
+                }
+                IInst::SetVpcBase { .. } => {}
+                IInst::LoadEmbeddedTarget { vaddr, .. } => {
+                    self.accs[acc.index()] = vaddr;
+                }
+                IInst::SaveVReturn { dst, vaddr } => {
+                    cpu.write(dst, vaddr);
+                }
+                IInst::PushDualRas { vret, iret } => {
+                    d.class = InstClass::DualRasPush;
+                    let ITarget::Addr(i) = iret else {
+                        panic!("unresolved dual-RAS push")
+                    };
+                    d.ras_pair = Some((vret, i));
+                    self.ras_push(vret, i);
+                }
+                IInst::CallTranslatorIfCond { cond, src, vtarget, .. } => {
+                    d.class = InstClass::CondBranch;
+                    let taken = cond.eval(self.val(src, acc, cpu));
+                    d.taken = taken;
+                    if taken {
+                        d.next_pc = DISPATCH_IADDR;
+                        exit = Some(FragExit::NotTranslated { vtarget });
+                    }
+                }
+                IInst::CallTranslator { vtarget } => {
+                    d.class = InstClass::Branch;
+                    d.taken = true;
+                    d.next_pc = DISPATCH_IADDR;
+                    exit = Some(FragExit::NotTranslated { vtarget });
+                }
+                IInst::Dispatch { src, .. } => {
+                    d.class = InstClass::Branch;
+                    d.taken = true;
+                    d.next_pc = DISPATCH_IADDR;
+                    let v = self.val(src, acc, cpu) & !3u64;
+                    sink.retire(&d);
+                    let target = cache.lookup(v);
+                    let ti = target.map(|t| cache.fragment(t).istart);
+                    self.run_dispatch(v, ti, sink);
+                    match target {
+                        Some(t) => {
+                            fid = t;
+                            idx = 0;
+                            cache.fragment_mut(fid).entries += 1;
+                            self.stats.fragment_entries += 1;
+                            continue;
+                        }
+                        None => return FragExit::NotTranslated { vtarget: v },
+                    }
+                }
+                IInst::GenTrap => {
+                    let state = self.recover_state(cache, fid, idx as u32, cpu);
+                    exit = Some(FragExit::Trap {
+                        vaddr: meta.vaddr,
+                        trap: Trap::GenTrap {
+                            code: state[Reg::A0.number() as usize],
+                        },
+                        state,
+                    });
+                }
+                IInst::PutChar { src, .. } => {
+                    let b = self.val(src, acc, cpu) as u8;
+                    self.output.push(b);
+                }
+                IInst::Halt => {
+                    exit = Some(FragExit::Halt);
+                }
+            }
+
+            sink.retire(&d);
+            if let Some(e) = exit {
+                return e;
+            }
+            match goto {
+                None => idx += 1,
+                Some(a) => match cache.lookup_iaddr(a) {
+                    Some(t) => {
+                        fid = t;
+                        idx = 0;
+                        cache.fragment_mut(fid).entries += 1;
+                        self.stats.fragment_entries += 1;
+                    }
+                    None => panic!("branch to unmapped I-address {a:#x}"),
+                },
+            }
+        }
+    }
+}
+
+fn check_align(addr: u64, width: MemWidth, policy: AlignPolicy) -> Result<(), Trap> {
+    let bytes = width.bytes();
+    if policy == AlignPolicy::Enforce && bytes > 1 && addr % bytes as u64 != 0 {
+        return Err(Trap::UnalignedAccess {
+            addr,
+            required: bytes,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::IMeta;
+    use alpha_isa::OperateOp;
+    use ildp_isa::IsaForm;
+
+    /// A sink that records every retired instruction.
+    #[derive(Default)]
+    struct Recorder(Vec<DynInst>);
+
+    impl TraceSink for Recorder {
+        fn retire(&mut self, inst: &DynInst) {
+            self.0.push(*inst);
+        }
+    }
+
+    fn meta(vaddr: u64, vcount: u16) -> IMeta {
+        IMeta {
+            vaddr,
+            vcount,
+            category: None,
+            is_chain: false,
+        }
+    }
+
+    fn install_simple(cache: &mut TranslationCache, vstart: u64, insts: Vec<IInst>) -> FragmentId {
+        let m: Vec<IMeta> = insts.iter().map(|_| meta(vstart, 1)).collect();
+        let n = insts.len() as u32;
+        cache.install(vstart, IsaForm::Modified, insts, m, n, HashMap::new())
+    }
+
+    #[test]
+    fn dispatch_expands_to_configured_cost() {
+        let mut cache = TranslationCache::new();
+        // Fragment A dispatches to V-address 0x2000; fragment B is there.
+        install_simple(
+            &mut cache,
+            0x2000,
+            vec![IInst::SetVpcBase { vaddr: 0x2000 }, IInst::Halt],
+        );
+        let a = install_simple(
+            &mut cache,
+            0x1000,
+            vec![
+                IInst::Op {
+                    op: OperateOp::Addq,
+                    acc: Acc::new(0),
+                    lhs: ASrc::Imm(0x2000),
+                    rhs: ASrc::Imm(0),
+                    dst: Some(Reg::new(5)),
+                },
+
+                IInst::Dispatch {
+                    acc: Acc::new(0),
+                    src: ASrc::Gpr(Reg::new(5)),
+                },
+            ],
+        );
+        let mut engine = Engine::new(EngineConfig::default());
+        let mut cpu = CpuState::new(0);
+        let mut mem = Memory::new();
+        let mut rec = Recorder::default();
+        let exit = engine.run(&mut cache, a, &mut cpu, &mut mem, u64::MAX, &mut rec);
+        assert_eq!(exit, FragExit::Halt);
+        assert_eq!(engine.stats.dispatches, 1);
+        // The dispatch expansion contributes exactly DISPATCH_COST_INSTS
+        // records at the shared dispatch PC range.
+        let dispatch_records = rec
+            .0
+            .iter()
+            .filter(|d| d.pc >= DISPATCH_IADDR && d.pc < DISPATCH_IADDR + 0x1000)
+            .count();
+        assert_eq!(dispatch_records, DISPATCH_COST_INSTS as usize);
+        // Its final record is the shared indirect jump, landing on B.
+        let last = rec
+            .0
+            .iter()
+            .rev()
+            .find(|d| d.pc >= DISPATCH_IADDR && d.pc < DISPATCH_IADDR + 0x1000)
+            .unwrap();
+        assert_eq!(last.class, InstClass::IndirectJump);
+    }
+
+    #[test]
+    fn dispatch_to_untranslated_returns_vtarget() {
+        let mut cache = TranslationCache::new();
+        let a = install_simple(
+            &mut cache,
+            0x1000,
+            vec![
+                IInst::Op {
+                    op: OperateOp::Addq,
+                    acc: Acc::new(0),
+                    lhs: ASrc::Imm(0x44),
+                    rhs: ASrc::Imm(0),
+                    dst: Some(Reg::new(5)),
+                },
+                IInst::Dispatch {
+                    acc: Acc::new(0),
+                    src: ASrc::Gpr(Reg::new(5)),
+                },
+            ],
+        );
+        let mut engine = Engine::new(EngineConfig::default());
+        let mut cpu = CpuState::new(0);
+        let mut mem = Memory::new();
+        let exit = engine.run(&mut cache, a, &mut cpu, &mut mem, u64::MAX, &mut NullSink);
+        assert_eq!(exit, FragExit::NotTranslated { vtarget: 0x44 });
+    }
+
+    #[test]
+    fn architectural_ras_round_trip() {
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.ras_push(0x10, 0x100);
+        engine.ras_push(0x20, 0x200);
+        assert_eq!(engine.ras_pop(), Some((0x20, 0x200)));
+        assert_eq!(engine.ras_pop(), Some((0x10, 0x100)));
+        assert_eq!(engine.ras_pop(), None);
+    }
+
+    #[test]
+    fn putchar_collects_output() {
+        let mut cache = TranslationCache::new();
+        let a = install_simple(
+            &mut cache,
+            0x1000,
+            vec![
+                IInst::Op {
+                    op: OperateOp::Addq,
+                    acc: Acc::new(1),
+                    lhs: ASrc::Imm(b'h' as i16),
+                    rhs: ASrc::Imm(0),
+                    dst: None,
+                },
+                IInst::PutChar {
+                    acc: Acc::new(1),
+                    src: ASrc::Acc,
+                },
+                IInst::Halt,
+            ],
+        );
+        let mut engine = Engine::new(EngineConfig::default());
+        let mut cpu = CpuState::new(0);
+        let mut mem = Memory::new();
+        engine.run(&mut cache, a, &mut cpu, &mut mem, u64::MAX, &mut NullSink);
+        assert_eq!(engine.output, b"h");
+    }
+
+    #[test]
+    fn budget_stops_infinite_fragment_loops() {
+        let mut cache = TranslationCache::new();
+        // A fragment that branches back to itself forever.
+        let insts = vec![
+            IInst::SetVpcBase { vaddr: 0x1000 },
+            IInst::CallTranslator { vtarget: 0x1000 }, // self-patch on install
+        ];
+        let m: Vec<IMeta> = vec![meta(0x1000, 1), meta(0x1000, 1)];
+        let a = cache.install(0x1000, IsaForm::Modified, insts, m, 2, HashMap::new());
+        let mut engine = Engine::new(EngineConfig::default());
+        let mut cpu = CpuState::new(0);
+        let mut mem = Memory::new();
+        let exit = engine.run(&mut cache, a, &mut cpu, &mut mem, 500, &mut NullSink);
+        assert_eq!(exit, FragExit::Budget);
+        assert!(engine.stats.v_insts >= 500);
+    }
+}

@@ -1,0 +1,486 @@
+//! Translated fragments and the translation cache.
+//!
+//! A *fragment* is a translated superblock installed in the code cache
+//! (paper §3.1, after [3,4]). The [`TranslationCache`] owns all fragments,
+//! assigns their I-ISA code addresses, maintains the V-PC → fragment map
+//! (Figure 3's "PC translation lookup table"), and performs **fragment
+//! chaining**: when a new fragment is installed, every earlier
+//! `call-translator` exit that targets its V-address is patched into a
+//! direct branch (paper §3.2).
+
+use crate::classify::UsageCat;
+use alpha_isa::Reg;
+use ildp_isa::{Acc, IInst, ITarget, IsaForm};
+use std::collections::HashMap;
+
+/// Identifier of an installed fragment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FragmentId(pub u32);
+
+/// Per-instruction metadata carried alongside the I-ISA code (the
+/// simulation-side analogue of the paper's PEI side tables).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IMeta {
+    /// The V-address of the originating V-ISA instruction.
+    pub vaddr: u64,
+    /// V-ISA instructions retired when this instruction completes.
+    pub vcount: u16,
+    /// Usage category of the value this instruction produces (for the
+    /// Figure 7 statistic), if it is the producing instruction of a
+    /// classified value.
+    pub category: Option<UsageCat>,
+    /// Whether this instruction is fragment-chaining overhead (software
+    /// jump prediction, dispatch transfers, RAS pushes).
+    pub is_chain: bool,
+}
+
+impl IMeta {
+    /// Metadata for a chaining-overhead instruction at `vaddr`.
+    pub fn chain(vaddr: u64) -> IMeta {
+        IMeta {
+            vaddr,
+            vcount: 0,
+            category: None,
+            is_chain: true,
+        }
+    }
+}
+
+/// Precise-trap recovery entry: at this PEI, the architected value of
+/// `reg` lives in accumulator `acc` (basic-form fragments only).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecoveryEntry {
+    /// The architected register.
+    pub reg: Reg,
+    /// The accumulator holding its value.
+    pub acc: Acc,
+}
+
+/// A translated superblock installed in the code cache.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    /// This fragment's id.
+    pub id: FragmentId,
+    /// The V-address of the first source instruction (embedded in the
+    /// leading `SetVpcBase` instruction).
+    pub vstart: u64,
+    /// The fragment's I-ISA base address in the code cache.
+    pub istart: u64,
+    /// The translated instructions.
+    pub insts: Vec<IInst>,
+    /// Parallel per-instruction metadata.
+    pub meta: Vec<IMeta>,
+    /// Per-instruction I-addresses (cumulative from `istart`).
+    pub iaddrs: Vec<u64>,
+    /// The ISA form this fragment was translated to.
+    pub form: IsaForm,
+    /// Number of V-ISA instructions in the source superblock.
+    pub src_inst_count: u32,
+    /// Per PEI instruction index: accumulator-resident architected values
+    /// to merge into the GPR file on a trap (basic form).
+    pub recovery: HashMap<u32, Vec<RecoveryEntry>>,
+    /// Times this fragment has been entered (for statistics).
+    pub entries: u64,
+}
+
+impl Fragment {
+    /// Total encoded size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.insts
+            .iter()
+            .map(|i| i.size_bytes(self.form) as u64)
+            .sum()
+    }
+
+    /// Indices of PEI instructions with their V-addresses (the PEI table of
+    /// paper §2.2).
+    pub fn pei_table(&self) -> Vec<(u32, u64)> {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.is_pei())
+            .map(|(i, _)| (i as u32, self.meta[i].vaddr))
+            .collect()
+    }
+}
+
+/// The translation cache: installed fragments, the V-PC lookup map, and
+/// pending cross-fragment patches.
+///
+/// # Examples
+///
+/// ```
+/// use ildp_core::TranslationCache;
+/// let cache = TranslationCache::new();
+/// assert_eq!(cache.lookup(0x1000), None);
+/// assert!(cache.fragments().is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TranslationCache {
+    fragments: Vec<Fragment>,
+    by_vstart: HashMap<u64, FragmentId>,
+    by_istart: HashMap<u64, FragmentId>,
+    /// V-target → sites awaiting a fragment at that address.
+    pending: HashMap<u64, Vec<(FragmentId, u32)>>,
+    next_iaddr: u64,
+    patches_applied: u64,
+    flushes: u64,
+}
+
+/// Base I-address of the code cache.
+pub const CODE_CACHE_BASE: u64 = 0xF000_0000;
+
+/// The I-address of the shared dispatch code. All `Dispatch` transfers
+/// funnel through this address; its terminal indirect jump is what makes
+/// the paper's `no_pred` chaining mispredict so badly (one BTB entry for
+/// every indirect target in the program).
+pub const DISPATCH_IADDR: u64 = 0xEFFF_0000;
+
+/// Number of instructions executed by the shared dispatch sequence
+/// (paper §3.2: "The dispatch code takes 20 instructions").
+pub const DISPATCH_COST_INSTS: u32 = 20;
+
+impl TranslationCache {
+    /// Creates an empty cache.
+    pub fn new() -> TranslationCache {
+        TranslationCache {
+            next_iaddr: CODE_CACHE_BASE,
+            ..TranslationCache::default()
+        }
+    }
+
+    /// All installed fragments.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// The fragment translated from V-address `vaddr`, if any.
+    pub fn lookup(&self, vaddr: u64) -> Option<FragmentId> {
+        self.by_vstart.get(&vaddr).copied()
+    }
+
+    /// The fragment whose I-ISA entry point is `iaddr`.
+    pub fn lookup_iaddr(&self, iaddr: u64) -> Option<FragmentId> {
+        self.by_istart.get(&iaddr).copied()
+    }
+
+    /// Immutable access to a fragment.
+    pub fn fragment(&self, id: FragmentId) -> &Fragment {
+        &self.fragments[id.0 as usize]
+    }
+
+    /// Mutable access to a fragment (the VM engine updates entry counts).
+    pub fn fragment_mut(&mut self, id: FragmentId) -> &mut Fragment {
+        &mut self.fragments[id.0 as usize]
+    }
+
+    /// Total patches applied so far (chaining statistic).
+    pub fn patches_applied(&self) -> u64 {
+        self.patches_applied
+    }
+
+    /// Times the cache has been flushed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Flushes the translation cache (the Dynamo-style response to a
+    /// program phase change — paper §4.1 notes the cost of *not*
+    /// occasionally flushing). All fragments, lookup entries and pending
+    /// patches are dropped; I-addresses are never reused, so stale
+    /// dual-RAS entries simply miss the `lookup_iaddr` map and fall back
+    /// to dispatch.
+    pub fn flush(&mut self) {
+        self.fragments.clear();
+        self.by_vstart.clear();
+        self.by_istart.clear();
+        self.pending.clear();
+        self.flushes += 1;
+    }
+
+    /// Total static code bytes installed.
+    pub fn total_code_bytes(&self) -> u64 {
+        self.fragments.iter().map(Fragment::size_bytes).sum()
+    }
+
+    /// Installs a translated fragment: assigns its I-addresses, registers
+    /// it in the lookup maps, resolves its own exits against already
+    /// installed fragments (including itself), and patches earlier
+    /// fragments whose exits target it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fragment for the same V-start is already installed
+    /// (re-translation is not supported; the paper's system likewise keeps
+    /// the first fragment formed for an address).
+    pub fn install(
+        &mut self,
+        vstart: u64,
+        form: IsaForm,
+        insts: Vec<IInst>,
+        meta: Vec<IMeta>,
+        src_inst_count: u32,
+        recovery: HashMap<u32, Vec<RecoveryEntry>>,
+    ) -> FragmentId {
+        assert_eq!(insts.len(), meta.len(), "metadata must parallel code");
+        assert!(
+            !self.by_vstart.contains_key(&vstart),
+            "fragment for {vstart:#x} already installed"
+        );
+        let id = FragmentId(self.fragments.len() as u32);
+        let istart = self.next_iaddr;
+        let mut iaddrs = Vec::with_capacity(insts.len());
+        let mut addr = istart;
+        for inst in &insts {
+            iaddrs.push(addr);
+            addr += inst.size_bytes(form) as u64;
+        }
+        self.next_iaddr = (addr + 7) & !7;
+
+        let fragment = Fragment {
+            id,
+            vstart,
+            istart,
+            insts,
+            meta,
+            iaddrs,
+            form,
+            src_inst_count,
+            recovery,
+            entries: 0,
+        };
+        self.fragments.push(fragment);
+        self.by_vstart.insert(vstart, id);
+        self.by_istart.insert(istart, id);
+
+        // Resolve this fragment's exits against installed fragments.
+        self.resolve_new_fragment(id);
+        // Patch earlier call-translator sites that wanted this V-address.
+        if let Some(sites) = self.pending.remove(&vstart) {
+            for (fid, idx) in sites {
+                self.patch_site(fid, idx, istart);
+            }
+        }
+        id
+    }
+
+    fn resolve_new_fragment(&mut self, id: FragmentId) {
+        let n = self.fragments[id.0 as usize].insts.len();
+        for idx in 0..n as u32 {
+            let inst = self.fragments[id.0 as usize].insts[idx as usize];
+            let vtarget = match inst {
+                IInst::CallTranslatorIfCond { vtarget, .. } => Some(vtarget),
+                IInst::CallTranslator { vtarget } => Some(vtarget),
+                _ => None,
+            };
+            if let Some(vt) = vtarget {
+                match self.by_vstart.get(&vt).copied() {
+                    Some(target) => {
+                        let istart = self.fragments[target.0 as usize].istart;
+                        self.patch_site(id, idx, istart);
+                    }
+                    None => self.pending.entry(vt).or_default().push((id, idx)),
+                }
+            }
+            // Dual-RAS pushes: resolve the I-side return address when the
+            // return-target fragment exists; otherwise leave it pointing at
+            // dispatch (correct, just slower) and register for patching.
+            if let IInst::PushDualRas { vret, iret } = inst {
+                if iret == ITarget::Addr(DISPATCH_IADDR) {
+                    match self.by_vstart.get(&vret).copied() {
+                        Some(target) => {
+                            let istart = self.fragments[target.0 as usize].istart;
+                            self.fragments[id.0 as usize].insts[idx as usize] =
+                                IInst::PushDualRas {
+                                    vret,
+                                    iret: ITarget::Addr(istart),
+                                };
+                        }
+                        None => self.pending.entry(vret).or_default().push((id, idx)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rewrites a `call-translator` site into a direct branch to `istart`
+    /// (the paper's "patch"), or resolves a pending dual-RAS push.
+    fn patch_site(&mut self, fid: FragmentId, idx: u32, istart: u64) {
+        let inst = &mut self.fragments[fid.0 as usize].insts[idx as usize];
+        *inst = match *inst {
+            IInst::CallTranslatorIfCond { cond, acc, src, .. } => IInst::CondBranch {
+                cond,
+                acc,
+                src,
+                target: ITarget::Addr(istart),
+            },
+            IInst::CallTranslator { .. } => IInst::Branch {
+                target: ITarget::Addr(istart),
+            },
+            IInst::PushDualRas { vret, .. } => IInst::PushDualRas {
+                vret,
+                iret: ITarget::Addr(istart),
+            },
+            other => panic!("patching non-patchable instruction {other:?}"),
+        };
+        self.patches_applied += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ildp_isa::{ASrc, CondKind};
+
+    fn mk_insts(exit_vtarget: u64) -> (Vec<IInst>, Vec<IMeta>) {
+        let insts = vec![
+            IInst::SetVpcBase { vaddr: 0x1000 },
+            IInst::CallTranslator {
+                vtarget: exit_vtarget,
+            },
+        ];
+        let meta = vec![
+            IMeta {
+                vaddr: 0x1000,
+                vcount: 0,
+                category: None,
+                is_chain: false,
+            },
+            IMeta::chain(0x1000),
+        ];
+        (insts, meta)
+    }
+
+    #[test]
+    fn install_assigns_addresses_and_maps() {
+        let mut cache = TranslationCache::new();
+        let (insts, meta) = mk_insts(0x2000);
+        let id = cache.install(0x1000, IsaForm::Modified, insts, meta, 1, HashMap::new());
+        let f = cache.fragment(id);
+        assert_eq!(f.istart, CODE_CACHE_BASE);
+        assert_eq!(f.iaddrs[0], CODE_CACHE_BASE);
+        assert!(f.iaddrs[1] > f.iaddrs[0]);
+        assert_eq!(cache.lookup(0x1000), Some(id));
+        assert_eq!(cache.lookup_iaddr(f.istart), Some(id));
+    }
+
+    #[test]
+    fn later_install_patches_earlier_exit() {
+        let mut cache = TranslationCache::new();
+        let (insts, meta) = mk_insts(0x2000);
+        let a = cache.install(0x1000, IsaForm::Modified, insts, meta, 1, HashMap::new());
+        assert!(matches!(
+            cache.fragment(a).insts[1],
+            IInst::CallTranslator { vtarget: 0x2000 }
+        ));
+        let (insts, meta) = mk_insts(0x3000);
+        let b = cache.install(0x2000, IsaForm::Modified, insts, meta, 1, HashMap::new());
+        let b_start = cache.fragment(b).istart;
+        assert!(matches!(
+            cache.fragment(a).insts[1],
+            IInst::Branch { target: ITarget::Addr(addr) } if addr == b_start
+        ));
+        assert_eq!(cache.patches_applied(), 1);
+    }
+
+    #[test]
+    fn self_loop_resolves_at_install() {
+        let mut cache = TranslationCache::new();
+        let insts = vec![
+            IInst::SetVpcBase { vaddr: 0x1000 },
+            IInst::CallTranslatorIfCond {
+                cond: CondKind::Ne,
+                acc: Acc::new(0),
+                src: ASrc::Gpr(Reg::new(1)),
+                vtarget: 0x1000, // loops back to itself
+            },
+            IInst::CallTranslator { vtarget: 0x2000 },
+        ];
+        let meta = vec![
+            IMeta {
+                vaddr: 0x1000,
+                vcount: 0,
+                category: None,
+                is_chain: false,
+            },
+            IMeta::chain(0x1000),
+            IMeta::chain(0x1000),
+        ];
+        let id = cache.install(0x1000, IsaForm::Basic, insts, meta, 1, HashMap::new());
+        let istart = cache.fragment(id).istart;
+        assert!(matches!(
+            cache.fragment(id).insts[1],
+            IInst::CondBranch { target: ITarget::Addr(addr), .. } if addr == istart
+        ));
+    }
+
+    #[test]
+    fn pending_dual_ras_push_resolves() {
+        let mut cache = TranslationCache::new();
+        let insts = vec![IInst::PushDualRas {
+            vret: 0x5000,
+            iret: ITarget::Addr(DISPATCH_IADDR),
+        }];
+        let meta = vec![IMeta::chain(0x1000)];
+        let a = cache.install(0x1000, IsaForm::Modified, insts, meta, 1, HashMap::new());
+        // Unresolved: points at dispatch.
+        assert!(matches!(
+            cache.fragment(a).insts[0],
+            IInst::PushDualRas { iret: ITarget::Addr(DISPATCH_IADDR), .. }
+        ));
+        let (insts, meta) = mk_insts(0x9000);
+        let b = cache.install(0x5000, IsaForm::Modified, insts, meta, 1, HashMap::new());
+        let b_start = cache.fragment(b).istart;
+        assert!(matches!(
+            cache.fragment(a).insts[0],
+            IInst::PushDualRas { iret: ITarget::Addr(addr), .. } if addr == b_start
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn duplicate_install_rejected() {
+        let mut cache = TranslationCache::new();
+        let (insts, meta) = mk_insts(0x2000);
+        cache.install(0x1000, IsaForm::Modified, insts.clone(), meta.clone(), 1, HashMap::new());
+        cache.install(0x1000, IsaForm::Modified, insts, meta, 1, HashMap::new());
+    }
+
+    #[test]
+    fn pei_table_lists_peis() {
+        let mut cache = TranslationCache::new();
+        let insts = vec![
+            IInst::SetVpcBase { vaddr: 0x1000 },
+            IInst::Load {
+                width: ildp_isa::MemWidth::U64,
+                acc: Acc::new(0),
+                addr: ASrc::Gpr(Reg::new(2)),
+                disp: 0,
+                dst: None,
+            },
+            IInst::Halt,
+        ];
+        let meta = vec![
+            IMeta {
+                vaddr: 0x1000,
+                vcount: 0,
+                category: None,
+                is_chain: false,
+            },
+            IMeta {
+                vaddr: 0x1004,
+                vcount: 1,
+                category: None,
+                is_chain: false,
+            },
+            IMeta {
+                vaddr: 0x1008,
+                vcount: 1,
+                category: None,
+                is_chain: false,
+            },
+        ];
+        let id = cache.install(0x1000, IsaForm::Basic, insts, meta, 2, HashMap::new());
+        assert_eq!(cache.fragment(id).pei_table(), vec![(1, 0x1004)]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # ildp-core — the dynamic binary translator and co-designed VM
+//!
+//! The primary contribution of Kim & Smith, *Dynamic Binary Translation
+//! for Accumulator-Oriented Architectures* (CGO 2003): a low-overhead DBT
+//! system that translates Alpha (the V-ISA) to the accumulator-oriented
+//! I-ISA, identifying inter-instruction dependence chains (strands) and
+//! encoding them as accumulator assignments **without re-scheduling the
+//! code** — the distributed superscalar hardware handles scheduling.
+//!
+//! Pipeline (paper Section 3):
+//!
+//! 1. interpret and profile ([`interp_step`]) with MRET hot-path detection;
+//! 2. collect a superblock along the interpreted path
+//!    ([`Superblock`], [`decompose`]);
+//! 3. classify value usage ([`analyze`]), form strands and assign
+//!    accumulators ([`plan`]);
+//! 4. emit basic- or modified-form I-ISA code ([`Translator`]) with
+//!    chaining per [`ChainPolicy`], install it in the [`TranslationCache`]
+//!    and patch earlier exits;
+//! 5. execute translated fragments ([`Engine`]) — streaming retired
+//!    instructions into a timing model — with precise-trap recovery;
+//! 6. the [`Vm`] orchestrates mode switching and collects the paper's
+//!    statistics (Table 2, Figures 4–9).
+//!
+//! The crate also contains the *code-straightening-only* translator
+//! ([`StraightenedVm`]) used by the paper to isolate chaining effects on a
+//! conventional superscalar (Figures 4–6).
+
+#![warn(missing_docs)]
+
+mod classify;
+mod cost;
+mod engine;
+mod fragment;
+mod profile;
+mod superblock;
+mod straighten;
+mod strands;
+mod translate;
+mod vm;
+
+pub use classify::{analyze, analyze_oracle, Dataflow, Reaching, UsageCat, ValueId, ValueInfo};
+pub use cost::CostModel;
+pub use engine::{Engine, EngineConfig, EngineStats, FragExit, NullSink, TraceSink};
+pub use fragment::{
+    Fragment, FragmentId, IMeta, RecoveryEntry, TranslationCache, CODE_CACHE_BASE,
+    DISPATCH_COST_INSTS, DISPATCH_IADDR,
+};
+pub use superblock::{
+    decompose, CollectedFlow, Node, NodeInput, NodeOp, SbEnd, SbInst, Superblock,
+};
+pub use profile::{
+    collect_superblock, collect_superblock_with_output, interp_step, Candidates, InterpEvent,
+    ProfileConfig,
+};
+pub use straighten::{StraightenStats, StraightenedVm};
+pub use strands::{plan, Role, TranslationPlan};
+pub use translate::{ChainPolicy, TranslateStats, TranslatedCode, Translator};
+pub use vm::{trace_original, FlushPolicy, Vm, VmConfig, VmExit, VmStats};

@@ -1,0 +1,600 @@
+//! Superblocks and their dataflow-node decomposition.
+//!
+//! The unit of translation is the *superblock* (Hwu et al.): a dynamic code
+//! sequence with one entry and multiple exits, collected by following the
+//! interpreted path once a start candidate becomes hot (paper §3.1).
+//!
+//! Before classification and strand formation, each Alpha instruction is
+//! decomposed into one or two *nodes* (paper §3.3 and Figure 7's note that
+//! "memory instructions with effective address calculation are decomposed
+//! into two nodes"):
+//!
+//! * a memory access with a nonzero displacement → an address-compute node
+//!   feeding the access node through a **temp** value;
+//! * a conditional move → a test node producing a temp boolean feeding a
+//!   select node;
+//! * everything else → a single node.
+
+use alpha_isa::{BranchOp, Inst, JumpKind, MemOp, OperateOp, Operand, PalFunc, Reg};
+
+/// How control left an instruction when the superblock was collected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollectedFlow {
+    /// Fell through.
+    Sequential,
+    /// Conditional branch, not taken at collection time.
+    CondNotTaken {
+        /// The (not-followed) taken-target V-address.
+        taken_target: u64,
+    },
+    /// Conditional branch, taken at collection time (condition will be
+    /// reversed by the translator so the followed path falls through).
+    CondTaken {
+        /// The followed target V-address.
+        taken_target: u64,
+        /// The (not-followed) fall-through V-address.
+        fallthrough: u64,
+    },
+    /// Unconditional direct branch (followed; removed by straightening).
+    Direct {
+        /// Target V-address.
+        target: u64,
+        /// Whether a return address is written (`BR`/`BSR` with a live
+        /// link register).
+        links: bool,
+    },
+    /// Register-indirect jump observed to go to `target` (ends the block).
+    Indirect {
+        /// Jump flavor.
+        kind: JumpKind,
+        /// The observed target V-address (used for software prediction).
+        target: u64,
+    },
+}
+
+/// One V-ISA instruction inside a superblock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SbInst {
+    /// The instruction's V-address.
+    pub vaddr: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Collected control-flow behavior.
+    pub flow: CollectedFlow,
+}
+
+/// Why collection of the superblock stopped (paper §3.1 ending
+/// conditions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SbEnd {
+    /// A register-indirect jump (or return) was reached.
+    IndirectJump,
+    /// A backward taken conditional branch was reached.
+    BackwardTakenBranch {
+        /// The branch's taken target.
+        target: u64,
+        /// The fall-through continuation.
+        fallthrough: u64,
+    },
+    /// The path revisited an already-collected address (a cycle).
+    Cycle {
+        /// The continuation V-address (start of the cycle).
+        next: u64,
+    },
+    /// The maximum superblock size was hit.
+    MaxSize {
+        /// The continuation V-address.
+        next: u64,
+    },
+    /// A halt/trap instruction was reached.
+    Halt,
+}
+
+/// A collected superblock.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Superblock {
+    /// Entry V-address.
+    pub start: u64,
+    /// The instructions along the collected path (NOPs excluded).
+    pub insts: Vec<SbInst>,
+    /// Why collection ended.
+    pub end: SbEnd,
+}
+
+impl Superblock {
+    /// Number of V-ISA instructions in the block.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the block is empty (degenerate; not translated).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// The operation a dataflow node performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeOp {
+    /// ALU operation (maps directly to an I-ISA [`ildp_isa::IInst::Op`]).
+    Alu(OperateOp),
+    /// Add a 16-bit immediate shifted left 16 (from `LDAH`).
+    AddHigh,
+    /// Add a plain 16-bit immediate (from `LDA` / address computation).
+    AddImm,
+    /// Memory load.
+    Load(MemOp),
+    /// Memory store.
+    Store(MemOp),
+    /// Conditional-move select: `out = temp_test ? value : old`.
+    CmovSelect(OperateOp),
+    /// Conditional branch (side exit or block-ending branch).
+    CondBranch(BranchOp),
+    /// Direct branch that saves a V-ISA return address (`BSR`, linking
+    /// `BR`).
+    CallSave,
+    /// Register-indirect jump/call/return (ends the block).
+    IndirectJump(JumpKind),
+    /// PALcode call.
+    Pal(PalFunc),
+}
+
+/// An input operand of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeInput {
+    /// An architected register value (whichever node last defined it, or a
+    /// live-in).
+    Reg(Reg),
+    /// The temp value produced by an earlier node of the same decomposed
+    /// instruction.
+    Temp(u32),
+    /// An immediate operand.
+    Imm(i16),
+}
+
+/// One dataflow node (a decomposed V-ISA instruction part).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// Index of the [`SbInst`] this node came from.
+    pub sb_index: u32,
+    /// The V-address of the originating instruction.
+    pub vaddr: u64,
+    /// Operation.
+    pub op: NodeOp,
+    /// Inputs (at most three: cmov select reads test, value, old).
+    pub inputs: [Option<NodeInput>; 3],
+    /// Immediate payload (displacement for loads/stores/addimm).
+    pub imm: i16,
+    /// The architected output register, if the node produces one.
+    pub out: Option<Reg>,
+    /// Whether this node produces a temp consumed by the next node instead
+    /// of (or in addition to) an architected register.
+    pub produces_temp: bool,
+    /// Whether this node is the *last* node of its V-ISA instruction (the
+    /// one that retires it).
+    pub retires: bool,
+    /// Whether this node can raise a precise trap (PEI).
+    pub is_pei: bool,
+    /// Whether this node is a side exit or the block-ending control
+    /// transfer.
+    pub is_exit: bool,
+}
+
+impl Node {
+    fn plain(sb_index: u32, vaddr: u64) -> Node {
+        Node {
+            sb_index,
+            vaddr,
+            op: NodeOp::Alu(OperateOp::Bis),
+            inputs: [None; 3],
+            imm: 0,
+            out: None,
+            produces_temp: false,
+            retires: true,
+            is_pei: false,
+            is_exit: false,
+        }
+    }
+
+    /// Iterates over the present inputs.
+    pub fn inputs(&self) -> impl Iterator<Item = NodeInput> + '_ {
+        self.inputs.iter().flatten().copied()
+    }
+}
+
+fn operand_input(op: Operand) -> NodeInput {
+    match op {
+        Operand::Reg(r) => NodeInput::Reg(r),
+        Operand::Lit(v) => NodeInput::Imm(v as i16),
+    }
+}
+
+fn reg_input(r: Reg) -> Option<NodeInput> {
+    // R31 reads as zero and carries no dependence: model as immediate 0.
+    if r.is_zero() {
+        Some(NodeInput::Imm(0))
+    } else {
+        Some(NodeInput::Reg(r))
+    }
+}
+
+/// Decomposes a superblock into its dataflow-node list.
+///
+/// Temps are numbered in emission order; a node with `produces_temp` set is
+/// consumed by the following node through [`NodeInput::Temp`].
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{Inst, MemOp, Reg};
+/// use ildp_core::{decompose, CollectedFlow, SbEnd, SbInst, Superblock};
+/// let sb = Superblock {
+///     start: 0x1000,
+///     insts: vec![SbInst {
+///         vaddr: 0x1000,
+///         inst: Inst::Mem { op: MemOp::Ldq, ra: Reg::V0, rb: Reg::SP, disp: 16 },
+///         flow: CollectedFlow::Sequential,
+///     }],
+///     end: SbEnd::Halt,
+/// };
+/// let nodes = decompose(&sb);
+/// assert_eq!(nodes.len(), 2); // address compute + access
+/// ```
+pub fn decompose(sb: &Superblock) -> Vec<Node> {
+    decompose_with(sb, false)
+}
+
+/// [`decompose`] with the **fused-memory extension** (paper §4.5): when
+/// `fuse_memory` is true, displaced loads and stores stay single nodes
+/// (the displacement rides in `Node::imm`), trading decode complexity for
+/// lower fetch and reorder-buffer pressure.
+pub fn decompose_with(sb: &Superblock, fuse_memory: bool) -> Vec<Node> {
+    let mut nodes = Vec::with_capacity(sb.insts.len() * 2);
+    let mut next_temp = 0u32;
+    for (i, si) in sb.insts.iter().enumerate() {
+        let idx = i as u32;
+        let va = si.vaddr;
+        match si.inst {
+            Inst::Mem { op, ra, rb, disp } => match op {
+                MemOp::Lda => {
+                    let mut n = Node::plain(idx, va);
+                    n.op = NodeOp::AddImm;
+                    n.inputs[0] = reg_input(rb);
+                    n.imm = disp;
+                    n.out = Some(ra);
+                    nodes.push(n);
+                }
+                MemOp::Ldah => {
+                    let mut n = Node::plain(idx, va);
+                    n.op = NodeOp::AddHigh;
+                    n.inputs[0] = reg_input(rb);
+                    n.imm = disp;
+                    n.out = Some(ra);
+                    nodes.push(n);
+                }
+                _ => {
+                    let addr_input = if disp != 0 && !fuse_memory {
+                        // Address-compute node feeding the access by temp.
+                        let mut a = Node::plain(idx, va);
+                        a.op = NodeOp::AddImm;
+                        a.inputs[0] = reg_input(rb);
+                        a.imm = disp;
+                        a.produces_temp = true;
+                        a.retires = false;
+                        let t = next_temp;
+                        next_temp += 1;
+                        nodes.push(a);
+                        NodeInput::Temp(t)
+                    } else {
+                        reg_input(rb).unwrap()
+                    };
+                    let mut m = Node::plain(idx, va);
+                    m.is_pei = true;
+                    m.imm = if fuse_memory { disp } else { 0 };
+                    if op.is_load() {
+                        m.op = NodeOp::Load(op);
+                        m.inputs[0] = Some(addr_input);
+                        m.out = Some(ra);
+                    } else {
+                        m.op = NodeOp::Store(op);
+                        m.inputs[0] = Some(addr_input);
+                        m.inputs[1] = reg_input(ra);
+                    }
+                    nodes.push(m);
+                }
+            },
+            Inst::Operate { op, ra, rb, rc } => {
+                if op.is_cmov() {
+                    // Test node: a compare/mask whose 0/1 result encodes the
+                    // cmov condition; the select polarity (low-bit set or
+                    // clear) recovers the original semantics.
+                    let (test_op, test_imm, select_op) = cmov_decomposition(op);
+                    let mut t = Node::plain(idx, va);
+                    t.op = NodeOp::Alu(test_op);
+                    t.inputs[0] = reg_input(ra);
+                    t.inputs[1] = Some(NodeInput::Imm(test_imm));
+                    t.produces_temp = true;
+                    t.retires = false;
+                    let tn = next_temp;
+                    next_temp += 1;
+                    nodes.push(t);
+                    // Select node: rc = taken(select_op, temp) ? rb : rc.
+                    let mut s = Node::plain(idx, va);
+                    s.op = NodeOp::CmovSelect(select_op);
+                    s.inputs[0] = Some(NodeInput::Temp(tn));
+                    s.inputs[1] = Some(operand_input(rb));
+                    s.inputs[2] = reg_input(rc);
+                    s.out = Some(rc);
+                    nodes.push(s);
+                } else {
+                    let mut n = Node::plain(idx, va);
+                    n.op = NodeOp::Alu(op);
+                    n.inputs[0] = reg_input(ra);
+                    n.inputs[1] = Some(operand_input(rb));
+                    n.out = Some(rc);
+                    nodes.push(n);
+                }
+            }
+            Inst::Branch { op, ra, .. } => match si.flow {
+                CollectedFlow::Direct { links, .. } => {
+                    // Followed direct branch: disappears under straightening
+                    // unless it must save a V-ISA return address.
+                    if links {
+                        let mut n = Node::plain(idx, va);
+                        n.op = NodeOp::CallSave;
+                        n.out = Some(ra);
+                        nodes.push(n);
+                    } else {
+                        // Pure layout artifact: code straightening removes
+                        // it and no node is emitted. Its V-instruction
+                        // retirement credit is recovered by the engine,
+                        // which counts superblock instructions, not nodes.
+                        continue;
+                    }
+                }
+                _ => {
+                    let mut n = Node::plain(idx, va);
+                    n.op = NodeOp::CondBranch(op);
+                    n.inputs[0] = reg_input(ra);
+                    n.is_exit = true;
+                    nodes.push(n);
+                }
+            },
+            Inst::Jump { kind, ra, rb, .. } => {
+                // If the link register is also the target (`jsr ra,(ra)`),
+                // capture the old target into a temp before the link write.
+                let target_input = if !ra.is_zero() && ra == rb {
+                    let mut c = Node::plain(idx, va);
+                    c.op = NodeOp::Alu(OperateOp::Bis);
+                    c.inputs[0] = reg_input(rb);
+                    c.inputs[1] = Some(NodeInput::Imm(0));
+                    c.produces_temp = true;
+                    c.retires = false;
+                    let t = next_temp;
+                    next_temp += 1;
+                    nodes.push(c);
+                    Some(NodeInput::Temp(t))
+                } else {
+                    reg_input(rb)
+                };
+                // Link side: the V-ISA return address (a CallSave node).
+                if !ra.is_zero() {
+                    let mut l = Node::plain(idx, va);
+                    l.op = NodeOp::CallSave;
+                    l.out = Some(ra);
+                    l.retires = false;
+                    nodes.push(l);
+                }
+                let mut n = Node::plain(idx, va);
+                n.op = NodeOp::IndirectJump(kind);
+                n.inputs[0] = target_input;
+                n.is_exit = true;
+                nodes.push(n);
+            }
+            Inst::CallPal { func } => {
+                let mut n = Node::plain(idx, va);
+                n.op = NodeOp::Pal(func);
+                if matches!(func, PalFunc::PutChar) {
+                    n.inputs[0] = reg_input(Reg::A0);
+                }
+                n.is_pei = matches!(func, PalFunc::GenTrap);
+                n.is_exit = matches!(func, PalFunc::Halt);
+                nodes.push(n);
+            }
+        }
+    }
+    nodes
+}
+
+/// Decomposes a cmov condition into an expressible test operation
+/// `(test_op, test_imm)` producing a 0/1 temp, and the low-bit select
+/// flavor that recovers the original polarity.
+///
+/// `cmov rc = cond(ra) ? rb : rc` becomes
+/// `t = test_op(ra, test_imm); rc = taken(select_op, t) ? rb : rc`.
+fn cmov_decomposition(op: OperateOp) -> (OperateOp, i16, OperateOp) {
+    use OperateOp::*;
+    match op {
+        Cmoveq => (Cmpeq, 0, Cmovlbs),
+        Cmovne => (Cmpeq, 0, Cmovlbc),
+        Cmovlt => (Cmplt, 0, Cmovlbs),
+        Cmovge => (Cmplt, 0, Cmovlbc),
+        Cmovle => (Cmple, 0, Cmovlbs),
+        Cmovgt => (Cmple, 0, Cmovlbc),
+        Cmovlbs => (And, 1, Cmovlbs),
+        Cmovlbc => (And, 1, Cmovlbc),
+        other => panic!("not a cmov: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(vaddr: u64, inst: Inst) -> SbInst {
+        SbInst {
+            vaddr,
+            inst,
+            flow: CollectedFlow::Sequential,
+        }
+    }
+
+    fn sb(insts: Vec<SbInst>) -> Superblock {
+        Superblock {
+            start: insts.first().map(|i| i.vaddr).unwrap_or(0),
+            insts,
+            end: SbEnd::Halt,
+        }
+    }
+
+    #[test]
+    fn zero_disp_load_is_single_node() {
+        let b = sb(vec![seq(
+            0x1000,
+            Inst::Mem {
+                op: MemOp::Ldbu,
+                ra: Reg::new(3),
+                rb: Reg::A0,
+                disp: 0,
+            },
+        )]);
+        let nodes = decompose(&b);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].op, NodeOp::Load(MemOp::Ldbu));
+        assert!(nodes[0].is_pei);
+        assert!(nodes[0].retires);
+    }
+
+    #[test]
+    fn displaced_load_splits_into_two_nodes() {
+        let b = sb(vec![seq(
+            0x1000,
+            Inst::Mem {
+                op: MemOp::Ldq,
+                ra: Reg::V0,
+                rb: Reg::SP,
+                disp: 16,
+            },
+        )]);
+        let nodes = decompose(&b);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].op, NodeOp::AddImm);
+        assert!(nodes[0].produces_temp);
+        assert!(!nodes[0].retires);
+        assert_eq!(nodes[1].inputs[0], Some(NodeInput::Temp(0)));
+        assert!(nodes[1].retires);
+    }
+
+    #[test]
+    fn store_reads_address_and_value() {
+        let b = sb(vec![seq(
+            0x1000,
+            Inst::Mem {
+                op: MemOp::Stq,
+                ra: Reg::new(5),
+                rb: Reg::new(6),
+                disp: 0,
+            },
+        )]);
+        let nodes = decompose(&b);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].inputs[0], Some(NodeInput::Reg(Reg::new(6))));
+        assert_eq!(nodes[0].inputs[1], Some(NodeInput::Reg(Reg::new(5))));
+        assert_eq!(nodes[0].out, None);
+    }
+
+    #[test]
+    fn cmov_decomposes_into_test_and_select() {
+        let b = sb(vec![seq(
+            0x1000,
+            Inst::Operate {
+                op: OperateOp::Cmoveq,
+                ra: Reg::new(1),
+                rb: Operand::Reg(Reg::new(2)),
+                rc: Reg::new(3),
+            },
+        )]);
+        let nodes = decompose(&b);
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes[0].produces_temp);
+        assert_eq!(nodes[0].op, NodeOp::Alu(OperateOp::Cmpeq));
+        assert_eq!(nodes[1].op, NodeOp::CmovSelect(OperateOp::Cmovlbs));
+        assert_eq!(nodes[1].inputs[0], Some(NodeInput::Temp(0)));
+        assert_eq!(nodes[1].inputs[2], Some(NodeInput::Reg(Reg::new(3))));
+        assert_eq!(nodes[1].out, Some(Reg::new(3)));
+    }
+
+    #[test]
+    fn followed_nonlinking_direct_branch_vanishes() {
+        let b = sb(vec![SbInst {
+            vaddr: 0x1000,
+            inst: Inst::Branch {
+                op: BranchOp::Br,
+                ra: Reg::ZERO,
+                disp: 5,
+            },
+            flow: CollectedFlow::Direct {
+                target: 0x1018,
+                links: false,
+            },
+        }]);
+        assert!(decompose(&b).is_empty());
+    }
+
+    #[test]
+    fn bsr_becomes_call_save() {
+        let b = sb(vec![SbInst {
+            vaddr: 0x1000,
+            inst: Inst::Branch {
+                op: BranchOp::Bsr,
+                ra: Reg::RA,
+                disp: 5,
+            },
+            flow: CollectedFlow::Direct {
+                target: 0x1018,
+                links: true,
+            },
+        }]);
+        let nodes = decompose(&b);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].op, NodeOp::CallSave);
+        assert_eq!(nodes[0].out, Some(Reg::RA));
+    }
+
+    #[test]
+    fn jump_with_link_emits_two_nodes() {
+        let b = sb(vec![SbInst {
+            vaddr: 0x1000,
+            inst: Inst::Jump {
+                kind: JumpKind::Jsr,
+                ra: Reg::RA,
+                rb: Reg::PV,
+                hint: 0,
+            },
+            flow: CollectedFlow::Indirect {
+                kind: JumpKind::Jsr,
+                target: 0x8000,
+            },
+        }]);
+        let nodes = decompose(&b);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].op, NodeOp::CallSave);
+        assert_eq!(nodes[1].op, NodeOp::IndirectJump(JumpKind::Jsr));
+        assert!(nodes[1].is_exit);
+    }
+
+    #[test]
+    fn r31_sources_become_immediates() {
+        let b = sb(vec![seq(
+            0x1000,
+            Inst::Operate {
+                op: OperateOp::Addq,
+                ra: Reg::ZERO,
+                rb: Operand::Lit(5),
+                rc: Reg::new(1),
+            },
+        )]);
+        let nodes = decompose(&b);
+        assert_eq!(nodes[0].inputs[0], Some(NodeInput::Imm(0)));
+    }
+}

@@ -1,0 +1,610 @@
+//! The co-designed virtual machine run loop (paper §4.1).
+//!
+//! Orchestrates the three modes: **interpret** (with candidate profiling),
+//! **translate** (superblock collection → strand translation → fragment
+//! installation and patching), and **execute** (the [`Engine`] running
+//! translated code, streaming the retired-instruction trace into a timing
+//! model). Matches the paper's simulation methodology: detailed timing is
+//! collected for translated (and chained) code only, and the overall
+//! performance metric is V-ISA instructions per cycle over that trace.
+
+use crate::cost::CostModel;
+use crate::engine::{Engine, EngineConfig, FragExit, TraceSink};
+use crate::fragment::TranslationCache;
+use crate::profile::{
+    collect_superblock_with_output, interp_step, Candidates, InterpEvent, ProfileConfig,
+};
+use crate::translate::Translator;
+use alpha_isa::{CpuState, Memory, Program, Trap};
+use ildp_uarch::{DynInst, InstClass};
+use std::collections::HashMap;
+
+/// Dynamo-style phase-change flushing (paper §4.1, after Dynamo): when
+/// fragment formation accelerates abruptly — the signature of a program
+/// phase change — the whole translation cache is flushed so the new
+/// phase's code gets freshly formed fragments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlushPolicy {
+    /// Window length, in V-ISA instructions executed.
+    pub window: u64,
+    /// Fragments created within one window that trigger a flush.
+    pub max_new_fragments: u32,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> FlushPolicy {
+        FlushPolicy {
+            window: 200_000,
+            max_new_fragments: 64,
+        }
+    }
+}
+
+/// VM configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmConfig {
+    /// Translator settings (ISA form, chaining policy, accumulators).
+    pub translator: Translator,
+    /// Profiling thresholds.
+    pub profile: ProfileConfig,
+    /// Engine settings.
+    pub engine: EngineConfig,
+    /// Translation-overhead cost model.
+    pub cost: CostModel,
+    /// Optional phase-change cache flushing (off by default, matching the
+    /// paper's evaluated configuration).
+    pub flush: Option<FlushPolicy>,
+}
+
+/// Why a VM run ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VmExit {
+    /// The guest program halted.
+    Halted,
+    /// A precise trap was delivered.
+    Trapped {
+        /// Faulting V-address.
+        vaddr: u64,
+        /// The condition.
+        trap: Trap,
+        /// Recovered architected register state.
+        state: Box<[u64; 32]>,
+    },
+    /// The instruction budget was exhausted.
+    Budget,
+}
+
+/// Aggregate statistics of a VM run (feeding Table 2, Figure 7 and the
+/// §4.2 overhead numbers).
+#[derive(Clone, Debug, Default)]
+pub struct VmStats {
+    /// Instructions interpreted (cold code).
+    pub interpreted: u64,
+    /// Fragments translated.
+    pub fragments: u64,
+    /// Source V-ISA instructions translated (static).
+    pub translated_src_insts: u64,
+    /// I-ISA instructions emitted (static).
+    pub emitted_insts: u64,
+    /// Static copy instructions emitted.
+    pub static_copies: u64,
+    /// Strands formed / prematurely terminated.
+    pub strands: u64,
+    /// Premature strand terminations.
+    pub terminations: u64,
+    /// Static translated code bytes installed in the cache.
+    pub translated_code_bytes: u64,
+    /// Modelled DBT overhead in Alpha instructions (§4.2).
+    pub translation_overhead: u64,
+    /// Modelled interpretation overhead in Alpha instructions.
+    pub interpretation_overhead: u64,
+    /// Translation-cache flushes performed (phase-change policy).
+    pub cache_flushes: u64,
+    /// Dynamic engine statistics.
+    pub engine: crate::engine::EngineStats,
+    /// Static usage-category counts across all translations.
+    pub static_categories: HashMap<crate::UsageCat, u64>,
+    /// Static oracle-boundary category counts (paper's [28] comparison).
+    pub oracle_categories: HashMap<crate::UsageCat, u64>,
+}
+
+impl VmStats {
+    /// Dynamic I-ISA instructions per retired V-ISA instruction
+    /// (Table 2: "relative number of dynamic instructions"; paper
+    /// averages: basic 1.60, modified 1.36).
+    pub fn dynamic_expansion(&self) -> f64 {
+        if self.engine.v_insts == 0 {
+            0.0
+        } else {
+            self.engine.executed as f64 / self.engine.v_insts as f64
+        }
+    }
+
+    /// Percentage of executed instructions that are copies (Table 2;
+    /// paper averages: basic 17.7%, modified 3.1%).
+    pub fn copy_pct(&self) -> f64 {
+        if self.engine.executed == 0 {
+            0.0
+        } else {
+            self.engine.copies_executed as f64 * 100.0 / self.engine.executed as f64
+        }
+    }
+
+    /// Translated static code bytes relative to the source code bytes
+    /// (Table 2: "relative number of static instruction bytes"; paper
+    /// averages: basic 1.17, modified 1.07).
+    pub fn static_code_ratio(&self) -> f64 {
+        if self.translated_src_insts == 0 {
+            0.0
+        } else {
+            self.translated_code_bytes as f64 / (4.0 * self.translated_src_insts as f64)
+        }
+    }
+
+    /// DBT instructions per translated source instruction (§4.2; paper
+    /// average ≈ 1,125).
+    pub fn overhead_per_translated_inst(&self) -> f64 {
+        if self.translated_src_insts == 0 {
+            0.0
+        } else {
+            self.translation_overhead as f64 / self.translated_src_insts as f64
+        }
+    }
+}
+
+/// The co-designed VM. See the module documentation.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{Assembler, Reg};
+/// use ildp_core::{NullSink, Vm, VmConfig, VmExit};
+///
+/// let mut asm = Assembler::new(0x1_0000);
+/// asm.lda_imm(Reg::A0, 200);
+/// let top = asm.here("top");
+/// asm.subq_imm(Reg::A0, 1, Reg::A0);
+/// asm.bne(Reg::A0, top);
+/// asm.halt();
+/// let program = asm.finish()?;
+///
+/// let mut vm = Vm::new(VmConfig::default(), &program);
+/// let exit = vm.run(10_000, &mut NullSink);
+/// assert_eq!(exit, VmExit::Halted);
+/// assert!(vm.stats().fragments > 0, "the loop must get translated");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Vm<'p> {
+    config: VmConfig,
+    program: &'p Program,
+    cpu: CpuState,
+    mem: Memory,
+    candidates: Candidates,
+    cache: TranslationCache,
+    engine: Engine,
+    stats: VmStats,
+    /// V-inst timestamps of recent fragment creations (flush policy).
+    recent_fragments: Vec<u64>,
+    /// Console bytes in emission order (interpreted + translated).
+    output: Vec<u8>,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM with the program loaded and the PC at its entry.
+    pub fn new(config: VmConfig, program: &'p Program) -> Vm<'p> {
+        let (cpu, mem) = program.load();
+        Vm {
+            config,
+            program,
+            cpu,
+            mem,
+            candidates: Candidates::new(),
+            cache: TranslationCache::new(),
+            engine: Engine::new(config.engine),
+            stats: VmStats::default(),
+            recent_fragments: Vec::new(),
+            output: Vec::new(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// The translation cache (inspection).
+    pub fn cache(&self) -> &TranslationCache {
+        &self.cache
+    }
+
+    /// The architected CPU state.
+    pub fn cpu(&self) -> &CpuState {
+        &self.cpu
+    }
+
+    /// Console output produced so far (interpreted + translated), in
+    /// emission order.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Total V-ISA instructions executed so far (interpreted or
+    /// translated).
+    pub fn v_instructions(&self) -> u64 {
+        self.stats.interpreted + self.engine.stats.v_insts
+    }
+
+    fn translate_at(&mut self, vaddr: u64) -> bool {
+        debug_assert_eq!(self.cpu.pc, vaddr);
+        if self.cache.lookup(vaddr).is_some() {
+            return true;
+        }
+        match collect_superblock_with_output(
+            &mut self.cpu,
+            &mut self.mem,
+            self.program,
+            &self.config.profile,
+            &mut self.output,
+        ) {
+            Ok(sb) if !sb.is_empty() => {
+                self.maybe_flush();
+                let out = self.config.translator.translate(&sb);
+                self.stats.fragments += 1;
+                self.stats.translated_src_insts += out.src_inst_count as u64;
+                self.stats.emitted_insts += out.insts.len() as u64;
+                self.stats.static_copies += out.stats.copies as u64;
+                self.stats.strands += out.stats.strands as u64;
+                self.stats.terminations += out.stats.terminations as u64;
+                for (cat, n) in &out.stats.categories {
+                    *self.stats.static_categories.entry(*cat).or_insert(0) += *n as u64;
+                }
+                for (cat, n) in &out.stats.oracle_categories {
+                    *self.stats.oracle_categories.entry(*cat).or_insert(0) += *n as u64;
+                }
+                self.stats.translation_overhead += self
+                    .config
+                    .cost
+                    .fragment_cost(out.src_inst_count as u64, out.insts.len() as u64);
+                // Collection executed the path once: count it as
+                // interpreted work (the paper's collection runs during
+                // interpretation).
+                self.stats.interpreted += out.src_inst_count as u64;
+                self.cache.install(
+                    out.vstart,
+                    self.config.translator.form,
+                    out.insts,
+                    out.meta,
+                    out.src_inst_count,
+                    out.recovery,
+                );
+                true
+            }
+            Ok(_) => false,
+            Err((pc, _trap)) => {
+                // Trap during collection: abandon the superblock; the trap
+                // will be re-raised by ordinary interpretation.
+                self.cpu.pc = pc;
+                false
+            }
+        }
+    }
+
+    /// Runs until halt, trap, or `budget` V-ISA instructions.
+    pub fn run(&mut self, budget: u64, sink: &mut dyn TraceSink) -> VmExit {
+        loop {
+            if self.v_instructions() >= budget {
+                self.finish_overheads();
+                return VmExit::Budget;
+            }
+            // Execute translated code when the current PC has a fragment.
+            if let Some(fid) = self.cache.lookup(self.cpu.pc) {
+                let engine_budget = budget.saturating_sub(self.stats.interpreted);
+                let engine_exit = self.engine.run(
+                    &mut self.cache,
+                    fid,
+                    &mut self.cpu,
+                    &mut self.mem,
+                    engine_budget,
+                    sink,
+                );
+                self.output.append(&mut self.engine.output);
+                match engine_exit {
+                    FragExit::NotTranslated { vtarget } => {
+                        self.cpu.pc = vtarget;
+                        // Fragment exit targets are superblock start
+                        // candidates (paper §3.1).
+                        if self
+                            .candidates
+                            .bump(vtarget, self.config.profile.threshold)
+                        {
+                            self.translate_at(vtarget);
+                        }
+                    }
+                    FragExit::Halt => {
+                        self.finish_overheads();
+                        return VmExit::Halted;
+                    }
+                    FragExit::Budget => {
+                        self.finish_overheads();
+                        return VmExit::Budget;
+                    }
+                    FragExit::Trap { vaddr, trap, state } => {
+                        self.finish_overheads();
+                        return VmExit::Trapped { vaddr, trap, state };
+                    }
+                }
+                continue;
+            }
+            // Otherwise interpret one instruction.
+            match interp_step(
+                &mut self.cpu,
+                &mut self.mem,
+                self.program,
+                &mut self.candidates,
+                &self.config.profile,
+                &mut self.stats.interpreted,
+                &mut self.output,
+            ) {
+                InterpEvent::Continue => {}
+                InterpEvent::Halted => {
+                    self.finish_overheads();
+                    return VmExit::Halted;
+                }
+                InterpEvent::Hot { vaddr } => {
+                    self.translate_at(vaddr);
+                }
+                InterpEvent::Trapped { vaddr, trap } => {
+                    self.finish_overheads();
+                    return VmExit::Trapped {
+                        vaddr,
+                        trap,
+                        state: Box::new(self.cpu.registers()),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Dynamo-style phase detection: flush when fragment creation spikes.
+    fn maybe_flush(&mut self) {
+        let Some(policy) = self.config.flush else { return };
+        let now = self.v_instructions();
+        self.recent_fragments.push(now);
+        let cutoff = now.saturating_sub(policy.window);
+        self.recent_fragments.retain(|&t| t >= cutoff);
+        if self.recent_fragments.len() as u32 > policy.max_new_fragments {
+            self.cache.flush();
+            self.stats.cache_flushes += 1;
+            self.recent_fragments.clear();
+        }
+    }
+
+    fn finish_overheads(&mut self) {
+        self.stats.interpretation_overhead =
+            self.stats.interpreted * self.config.cost.interp_cost_per_inst();
+        self.stats.translated_code_bytes = self.cache.total_code_bytes();
+        self.stats.engine = self.engine.stats.clone();
+    }
+}
+
+/// Interprets `program` directly, emitting the **original-program** trace
+/// (the paper's "original" superscalar configuration and the native-Alpha
+/// bars of Figures 4, 6 and 8).
+///
+/// Returns the exit condition and the number of instructions traced.
+pub fn trace_original(
+    program: &Program,
+    budget: u64,
+    sink: &mut dyn TraceSink,
+) -> (VmExit, u64) {
+    use alpha_isa::{step, AlignPolicy, BranchOp, Control, Inst};
+    let (mut cpu, mut mem) = program.load();
+    let mut count = 0u64;
+    loop {
+        if count >= budget {
+            return (VmExit::Budget, count);
+        }
+        let pc = cpu.pc;
+        let inst = match program.fetch(pc) {
+            Ok(i) => i,
+            Err(trap) => {
+                return (
+                    VmExit::Trapped {
+                        vaddr: pc,
+                        trap,
+                        state: Box::new(cpu.registers()),
+                    },
+                    count,
+                )
+            }
+        };
+        let before_regs = cpu.clone();
+        let outcome = match step(&mut cpu, &mut mem, inst, AlignPolicy::Enforce) {
+            Ok(o) => o,
+            Err(trap) => {
+                return (
+                    VmExit::Trapped {
+                        vaddr: pc,
+                        trap,
+                        state: Box::new(cpu.registers()),
+                    },
+                    count,
+                )
+            }
+        };
+        count += 1;
+        let mut d = DynInst::alu(pc, 4);
+        d.next_pc = outcome.next_pc;
+        d.class = match inst {
+            Inst::Operate { op, .. } if op.is_multiply() => InstClass::IntMul,
+            Inst::Operate { .. } => InstClass::IntAlu,
+            Inst::Mem { op, .. } if op.is_load() => InstClass::Load,
+            Inst::Mem { op, .. } if op.is_store() => InstClass::Store,
+            Inst::Mem { .. } => InstClass::IntAlu,
+            Inst::Branch { op: BranchOp::Bsr, .. } => InstClass::Call,
+            Inst::Branch { op: BranchOp::Br, .. } => InstClass::Branch,
+            Inst::Branch { .. } => InstClass::CondBranch,
+            Inst::Jump { kind, .. } => match kind {
+                alpha_isa::JumpKind::Ret => InstClass::Return,
+                alpha_isa::JumpKind::Jsr => InstClass::IndirectCall,
+                _ => InstClass::IndirectJump,
+            },
+            Inst::CallPal { .. } => InstClass::IntAlu,
+        };
+        let mut srcs = [None; 3];
+        for (k, r) in inst.sources().iter().enumerate() {
+            srcs[k] = Some(r.number());
+        }
+        d.srcs = srcs;
+        d.dst = inst.dest().map(|r| r.number());
+        d.mem_addr = outcome.mem.map(|m| m.addr);
+        d.taken = outcome.control.is_taken();
+        if let Control::Indirect { target, .. } = outcome.control {
+            d.v_target = target;
+        }
+        let _ = before_regs;
+        sink.retire(&d);
+        if outcome.control == Control::Halt {
+            return (VmExit::Halted, count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullSink;
+    use crate::translate::ChainPolicy;
+    use alpha_isa::{run_to_halt, AlignPolicy, Assembler, Reg};
+    use ildp_isa::IsaForm;
+
+    fn loop_program(iters: i16) -> Program {
+        let mut asm = Assembler::new(0x1_0000);
+        let buf = asm.zero_block(4096);
+        asm.li32(Reg::A1, buf as u32);
+        asm.lda_imm(Reg::A0, iters);
+        asm.clr(Reg::V0);
+        let top = asm.here("top");
+        asm.addq(Reg::V0, Reg::A0, Reg::V0);
+        asm.and_imm(Reg::A0, 0x3f, Reg::new(3));
+        asm.s8addq(Reg::new(3), Reg::A1, Reg::new(3));
+        asm.stq(Reg::V0, 0, Reg::new(3));
+        asm.ldq(Reg::new(4), 0, Reg::new(3));
+        asm.addq(Reg::V0, Reg::new(4), Reg::V0);
+        asm.subq_imm(Reg::A0, 1, Reg::A0);
+        asm.bne(Reg::A0, top);
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    fn final_state_matches(form: IsaForm, chain: ChainPolicy) {
+        let program = loop_program(500);
+        // Reference: pure interpretation.
+        let (mut rcpu, mut rmem) = program.load();
+        run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000).unwrap();
+
+        let config = VmConfig {
+            translator: Translator {
+                form,
+                chain,
+                acc_count: 4,
+        fuse_memory: false,
+    },
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(config, &program);
+        let exit = vm.run(100_000, &mut NullSink);
+        assert_eq!(exit, VmExit::Halted);
+        assert!(
+            vm.stats().fragments > 0,
+            "hot loop must have been translated ({form:?}, {chain:?})"
+        );
+        assert!(
+            vm.stats().engine.v_insts > 1_000,
+            "most iterations must run translated ({form:?}, {chain:?}): {}",
+            vm.stats().engine.v_insts
+        );
+        assert_eq!(
+            vm.cpu().registers(),
+            rcpu.registers(),
+            "translated execution must preserve architected state \
+             ({form:?}, {chain:?})"
+        );
+    }
+
+    #[test]
+    fn modified_form_preserves_architecture() {
+        final_state_matches(IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    }
+
+    #[test]
+    fn basic_form_preserves_architecture() {
+        final_state_matches(IsaForm::Basic, ChainPolicy::SwPredDualRas);
+    }
+
+    #[test]
+    fn no_pred_chaining_preserves_architecture() {
+        final_state_matches(IsaForm::Modified, ChainPolicy::NoPred);
+    }
+
+    #[test]
+    fn sw_pred_chaining_preserves_architecture() {
+        final_state_matches(IsaForm::Basic, ChainPolicy::SwPred);
+    }
+
+    #[test]
+    fn basic_executes_more_instructions_than_modified() {
+        let program = loop_program(2000);
+        let run = |form| {
+            let config = VmConfig {
+                translator: Translator {
+                    form,
+                    ..Translator::default()
+                },
+                ..VmConfig::default()
+            };
+            let mut vm = Vm::new(config, &program);
+            vm.run(1_000_000, &mut NullSink);
+            vm.stats().clone()
+        };
+        let basic = run(IsaForm::Basic);
+        let modified = run(IsaForm::Modified);
+        assert!(
+            basic.dynamic_expansion() > modified.dynamic_expansion(),
+            "basic {} vs modified {}",
+            basic.dynamic_expansion(),
+            modified.dynamic_expansion()
+        );
+        assert!(basic.copy_pct() > modified.copy_pct());
+        assert!(basic.dynamic_expansion() > 1.0);
+    }
+
+    #[test]
+    fn overhead_model_reports_per_inst_cost() {
+        let program = loop_program(500);
+        let mut vm = Vm::new(VmConfig::default(), &program);
+        vm.run(100_000, &mut NullSink);
+        let per = vm.stats().overhead_per_translated_inst();
+        assert!(
+            (500.0..2500.0).contains(&per),
+            "per-instruction DBT cost {per} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn trace_original_halts_and_counts() {
+        let program = loop_program(100);
+        let (exit, n) = trace_original(&program, 1_000_000, &mut NullSink);
+        assert_eq!(exit, VmExit::Halted);
+        assert!(n > 800);
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let program = loop_program(10_000);
+        let mut vm = Vm::new(VmConfig::default(), &program);
+        let exit = vm.run(5_000, &mut NullSink);
+        assert_eq!(exit, VmExit::Budget);
+    }
+}

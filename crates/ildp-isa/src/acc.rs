@@ -1,0 +1,83 @@
+//! Accumulator (strand) identifiers.
+
+use std::fmt;
+
+/// A logical accumulator number.
+///
+/// In the **basic** I-ISA an accumulator is an architected register that
+/// carries values along a dependence chain (a *strand*). In the **modified**
+/// I-ISA the same field is a *strand identifier*: architected state lives in
+/// the GPRs, and the accumulator number only tells the microarchitecture
+/// which dependence chain (and therefore which processing element) the
+/// instruction belongs to.
+///
+/// The paper evaluates 4 logical accumulators (default) and 8.
+///
+/// # Examples
+///
+/// ```
+/// use ildp_isa::Acc;
+/// let a0 = Acc::new(0);
+/// assert_eq!(a0.number(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Acc(u8);
+
+impl Acc {
+    /// Maximum number of logical accumulators any configuration may use.
+    pub const MAX_ACCUMULATORS: usize = 16;
+
+    /// Creates an accumulator identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= MAX_ACCUMULATORS`.
+    #[inline]
+    pub const fn new(n: u8) -> Acc {
+        assert!(
+            (n as usize) < Acc::MAX_ACCUMULATORS,
+            "accumulator number out of range"
+        );
+        Acc(n)
+    }
+
+    /// The accumulator number.
+    #[inline]
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The accumulator's index as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Acc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl fmt::Debug for Acc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Acc::new(3).to_string(), "A3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = Acc::new(16);
+    }
+}

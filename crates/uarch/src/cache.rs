@@ -1,0 +1,381 @@
+//! Set-associative caches and the simulated memory hierarchy.
+//!
+//! Parameters follow the paper's Table 1: a 32 KB direct-mapped I-cache
+//! with 128-byte lines, a 32 KB 4-way (or 8 KB 2-way, replicated) L1
+//! D-cache with 64-byte lines and 2-cycle latency, a 1 MB 4-way unified L2
+//! with 128-byte lines and 8-cycle latency, and 72-cycle memory.
+
+/// Replacement policy for a cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Replacement {
+    /// Least-recently-used (paper: I-cache).
+    Lru,
+    /// Pseudo-random (paper: D-cache and L2).
+    Random,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity (1 = direct-mapped).
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Paper Table 1 I-cache: 32 KB direct-mapped, 128-byte lines, LRU.
+    pub fn icache_32k() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 128,
+            ways: 1,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Paper Table 1 D-cache: 32 KB 4-way, 64-byte lines, random.
+    pub fn dcache_32k() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 4,
+            replacement: Replacement::Random,
+        }
+    }
+
+    /// Paper Table 1 replicated ILDP D-cache: 8 KB 2-way, 64-byte lines.
+    pub fn dcache_8k() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 64,
+            ways: 2,
+            replacement: Replacement::Random,
+        }
+    }
+
+    /// Paper Table 1 L2: 1 MB 4-way, 128-byte lines, random.
+    pub fn l2_1m() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            line_bytes: 128,
+            ways: 4,
+            replacement: Replacement::Random,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// A single cache level tracking only tags (timing simulation carries no
+/// data).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `tags[set][way]`: line tag or `u64::MAX` when invalid.
+    tags: Vec<u64>,
+    lru: Vec<u64>,
+    ways: usize,
+    set_mask: u64,
+    line_shift: u32,
+    stamp: u64,
+    rng: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two set count or the line
+    /// size is not a power of two.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.line_bytes.is_power_of_two(), "line size power of two");
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            config,
+            tags: vec![u64::MAX; sets * config.ways],
+            lru: vec![0; sets * config.ways],
+            ways: config.ways,
+            set_mask: (sets - 1) as u64,
+            line_shift: config.line_bytes.trailing_zeros(),
+            stamp: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses to date.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Misses to date.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit. On a
+    /// miss the line is filled (victim chosen by the replacement policy).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.stamp += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        if let Some(way) = ways.iter().position(|&t| t == line) {
+            self.lru[base + way] = self.stamp;
+            return true;
+        }
+        self.misses += 1;
+        // Prefer an invalid way; otherwise use the policy.
+        let victim = if let Some(way) = ways.iter().position(|&t| t == u64::MAX) {
+            way
+        } else {
+            match self.config.replacement {
+                Replacement::Lru => {
+                    let lrus = &self.lru[base..base + self.ways];
+                    (0..self.ways).min_by_key(|&w| lrus[w]).unwrap()
+                }
+                Replacement::Random => (self.next_random() as usize) % self.ways,
+            }
+        };
+        self.tags[base + victim] = line;
+        self.lru[base + victim] = self.stamp;
+        false
+    }
+
+    /// Whether the line containing `addr` is currently resident (no state
+    /// change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
+    }
+}
+
+/// Latencies of the memory system (paper Table 1).
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryLatencies {
+    /// L1 D-cache hit latency in cycles.
+    pub l1_hit: u64,
+    /// L2 hit latency in cycles.
+    pub l2_hit: u64,
+    /// Main-memory access latency in cycles.
+    pub memory: u64,
+}
+
+impl Default for MemoryLatencies {
+    fn default() -> MemoryLatencies {
+        MemoryLatencies {
+            l1_hit: 2,
+            l2_hit: 8,
+            memory: 72,
+        }
+    }
+}
+
+/// The L1D + unified L2 + memory data hierarchy.
+///
+/// The ILDP machine replicates the L1 D-cache across PEs; replication only
+/// changes port contention (not modeled — the paper grants both machines
+/// the same D-cache latency), so one tag array suffices for hit/miss
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct DataHierarchy {
+    l1: Cache,
+    l2: Cache,
+    latencies: MemoryLatencies,
+}
+
+impl DataHierarchy {
+    /// Creates a hierarchy from L1/L2 geometries and latencies.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, latencies: MemoryLatencies) -> DataHierarchy {
+        DataHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            latencies,
+        }
+    }
+
+    /// Performs a data access and returns its total latency in cycles.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        if self.l1.access(addr) {
+            self.latencies.l1_hit
+        } else if self.l2.access(addr) {
+            self.latencies.l1_hit + self.latencies.l2_hit
+        } else {
+            self.latencies.l1_hit + self.latencies.l2_hit + self.latencies.memory
+        }
+    }
+
+    /// L1 miss count.
+    pub fn l1_misses(&self) -> u64 {
+        self.l1.misses()
+    }
+
+    /// L2 miss count.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.misses()
+    }
+}
+
+/// The instruction-fetch hierarchy: L1I backed by the same L2/memory
+/// latency parameters.
+#[derive(Clone, Debug)]
+pub struct InstHierarchy {
+    l1i: Cache,
+    l2: Cache,
+    latencies: MemoryLatencies,
+}
+
+impl InstHierarchy {
+    /// Creates an instruction hierarchy.
+    pub fn new(l1i: CacheConfig, l2: CacheConfig, latencies: MemoryLatencies) -> InstHierarchy {
+        InstHierarchy {
+            l1i: Cache::new(l1i),
+            l2: Cache::new(l2),
+            latencies,
+        }
+    }
+
+    /// Fetch-accesses the line at `addr`; returns the added miss penalty in
+    /// cycles (0 on an L1I hit).
+    pub fn fetch(&mut self, addr: u64) -> u64 {
+        if self.l1i.access(addr) {
+            0
+        } else if self.l2.access(addr) {
+            self.latencies.l2_hit
+        } else {
+            self.latencies.l2_hit + self.latencies.memory
+        }
+    }
+
+    /// The I-cache line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.l1i.config().line_bytes
+    }
+
+    /// L1I miss count.
+    pub fn l1i_misses(&self) -> u64 {
+        self.l1i.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 1,
+            replacement: Replacement::Lru,
+        }); // 4 sets
+        assert!(!c.access(0)); // cold miss
+        assert!(c.access(0)); // hit
+        assert!(!c.access(256)); // same set, conflict
+        assert!(!c.access(0)); // evicted
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.accesses(), 4);
+    }
+
+    #[test]
+    fn lru_keeps_hot_line_in_set() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            replacement: Replacement::Lru,
+        }); // 2 sets, 2 ways
+        // Set 0 lines: 0, 128, 256 ...
+        c.access(0);
+        c.access(128);
+        c.access(0); // make 128 LRU
+        c.access(256); // evicts 128
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        let mut c = Cache::new(CacheConfig::dcache_32k());
+        let lines: Vec<u64> = (0..256).map(|i| i * 64).collect();
+        for &a in &lines {
+            c.access(a);
+        }
+        let misses_after_warmup = c.misses();
+        for _ in 0..10 {
+            for &a in &lines {
+                assert!(c.access(a), "line {a:#x} should stay resident");
+            }
+        }
+        assert_eq!(c.misses(), misses_after_warmup);
+    }
+
+    #[test]
+    fn hierarchy_latencies() {
+        let mut h = DataHierarchy::new(
+            CacheConfig::dcache_32k(),
+            CacheConfig::l2_1m(),
+            MemoryLatencies::default(),
+        );
+        // Cold: miss everywhere.
+        assert_eq!(h.access(0x1_0000), 2 + 8 + 72);
+        // Now hot in L1.
+        assert_eq!(h.access(0x1_0000), 2);
+        // A different address in the same L2 line (128B) but a different L1
+        // line (64B): L1 miss, L2 hit.
+        assert_eq!(h.access(0x1_0040), 2 + 8);
+    }
+
+    #[test]
+    fn inst_hierarchy_penalties() {
+        let mut h = InstHierarchy::new(
+            CacheConfig::icache_32k(),
+            CacheConfig::l2_1m(),
+            MemoryLatencies::default(),
+        );
+        assert_eq!(h.fetch(0x2000), 8 + 72);
+        assert_eq!(h.fetch(0x2000), 0);
+        assert_eq!(h.line_bytes(), 128);
+        assert_eq!(h.l1i_misses(), 1);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let c = Cache::new(CacheConfig::dcache_8k());
+        assert!(!c.probe(0x40));
+        assert_eq!(c.accesses(), 0);
+    }
+}

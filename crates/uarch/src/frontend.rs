@@ -1,0 +1,420 @@
+//! Shared instruction-fetch front end.
+//!
+//! Both timing models (superscalar and ILDP) use the same front end, as in
+//! the paper's Table 1: per cycle it fetches up to `width` instructions
+//! from at most `max_blocks` sequential basic blocks out of one I-cache
+//! line, consults the branch predictors, and charges a 3-cycle redirect
+//! for both misfetches (target unknown until decode) and mispredictions
+//! (resolved at execute — the backend reports the resolve cycle via
+//! [`Frontend::resume_at`]).
+
+use crate::cache::InstHierarchy;
+use crate::predictors::BranchPredictors;
+use crate::trace::{DynInst, InstClass};
+
+/// What the predictor complex decided about one fetched instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FetchOutcome {
+    /// Not a control instruction, or predicted correctly.
+    Ok,
+    /// Taken-target unknown/wrong at fetch; fixed at decode (3-cycle
+    /// redirect charged by the front end itself).
+    Misfetch,
+    /// Conditional-branch direction mispredict (resolved at execute).
+    CondMispredict,
+    /// Indirect-jump target mispredict (resolved at execute).
+    IndirectMispredict,
+    /// Return-address mispredict (resolved at execute).
+    ReturnMispredict,
+}
+
+impl FetchOutcome {
+    /// Whether the backend must report the resolve cycle.
+    pub fn needs_execute_redirect(self) -> bool {
+        matches!(
+            self,
+            FetchOutcome::CondMispredict
+                | FetchOutcome::IndirectMispredict
+                | FetchOutcome::ReturnMispredict
+        )
+    }
+}
+
+/// Misprediction counters accumulated by the front end.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FrontendStats {
+    /// Conditional-branch direction mispredictions.
+    pub cond_mispredicts: u64,
+    /// Indirect target mispredictions.
+    pub indirect_mispredicts: u64,
+    /// Return mispredictions.
+    pub return_mispredicts: u64,
+    /// Misfetches.
+    pub misfetches: u64,
+    /// Conditional branches seen.
+    pub cond_branches: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+}
+
+/// The fetch engine. See the module documentation.
+#[derive(Debug)]
+pub struct Frontend {
+    predictors: BranchPredictors,
+    icache: InstHierarchy,
+    width: u32,
+    max_blocks: u32,
+    redirect_penalty: u64,
+    cycle: u64,
+    slots: u32,
+    blocks: u32,
+    cur_line: u64,
+    stats: FrontendStats,
+}
+
+impl Frontend {
+    /// Creates a front end.
+    ///
+    /// `width` is the per-cycle fetch bandwidth in instructions,
+    /// `max_blocks` the maximum sequential basic blocks fetched per cycle
+    /// (paper: 3), and `redirect_penalty` the misfetch/mispredict
+    /// redirection latency (paper: 3).
+    pub fn new(
+        predictors: BranchPredictors,
+        icache: InstHierarchy,
+        width: u32,
+        max_blocks: u32,
+        redirect_penalty: u64,
+    ) -> Frontend {
+        assert!(width > 0 && max_blocks > 0);
+        Frontend {
+            predictors,
+            icache,
+            width,
+            max_blocks,
+            redirect_penalty,
+            cycle: 0,
+            slots: width,
+            blocks: max_blocks,
+            cur_line: u64::MAX,
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// The redirect penalty in cycles.
+    pub fn redirect_penalty(&self) -> u64 {
+        self.redirect_penalty
+    }
+
+    /// Accumulated misprediction statistics.
+    pub fn stats(&self) -> FrontendStats {
+        self.stats
+    }
+
+    /// I-cache misses so far.
+    pub fn icache_misses(&self) -> u64 {
+        self.icache.l1i_misses()
+    }
+
+    fn new_group(&mut self) {
+        self.cycle += 1;
+        self.slots = self.width;
+        self.blocks = self.max_blocks;
+    }
+
+    /// Redirects fetch: the next instruction cannot be fetched before
+    /// `cycle`. Called by the backend when a misprediction resolves.
+    pub fn resume_at(&mut self, cycle: u64) {
+        if cycle > self.cycle {
+            self.cycle = cycle;
+            self.slots = self.width;
+            self.blocks = self.max_blocks;
+        }
+    }
+
+    /// Fetches the next instruction of the retired stream, returning the
+    /// fetch cycle and the prediction outcome.
+    pub fn fetch(&mut self, inst: &DynInst) -> (u64, FetchOutcome) {
+        // Fetch-group bookkeeping: bandwidth and block limits.
+        if self.slots == 0 || self.blocks == 0 {
+            self.new_group();
+        }
+        // Crossing into a new I-cache line ends the group and may stall.
+        let line_bytes = self.icache.line_bytes() as u64;
+        let line = inst.pc / line_bytes;
+        if line != self.cur_line {
+            if self.cur_line != u64::MAX {
+                self.new_group();
+            }
+            let before = self.icache.l1i_misses();
+            let penalty = self.icache.fetch(inst.pc);
+            if self.icache.l1i_misses() > before {
+                self.stats.icache_misses += 1;
+            }
+            self.cycle += penalty;
+            self.cur_line = line;
+        }
+        let fetch_cycle = self.cycle;
+        self.slots -= 1;
+
+        let outcome = self.predict(inst);
+
+        match outcome {
+            FetchOutcome::Ok => {
+                if inst.class.is_control() {
+                    if inst.taken || inst.class.is_indirect() {
+                        // Taken transfer ends the fetch group; target may be
+                        // on another line (handled on next fetch).
+                        self.slots = 0;
+                        self.cur_line = u64::MAX;
+                    } else {
+                        // Not-taken branch: one more basic block consumed.
+                        self.blocks -= 1;
+                    }
+                }
+            }
+            FetchOutcome::Misfetch => {
+                // Target fixed at decode.
+                self.stats.misfetches += 1;
+                self.resume_at(fetch_cycle + self.redirect_penalty);
+                self.cur_line = u64::MAX;
+            }
+            _ => {
+                // Execute-resolved mispredict; the backend calls
+                // `resume_at`. Conservatively close the group.
+                self.slots = 0;
+                self.cur_line = u64::MAX;
+            }
+        }
+        (fetch_cycle, outcome)
+    }
+
+    fn predict(&mut self, inst: &DynInst) -> FetchOutcome {
+        let p = &mut self.predictors;
+        match inst.class {
+            InstClass::CondBranch => {
+                self.stats.cond_branches += 1;
+                let predicted_taken = p.gshare.predict(inst.pc);
+                p.gshare.update(inst.pc, inst.taken);
+                if predicted_taken != inst.taken {
+                    self.stats.cond_mispredicts += 1;
+                    return FetchOutcome::CondMispredict;
+                }
+                if inst.taken {
+                    let pred_target = p.btb.predict(inst.pc);
+                    p.btb.update(inst.pc, inst.next_pc);
+                    if pred_target != Some(inst.next_pc) {
+                        return FetchOutcome::Misfetch;
+                    }
+                }
+                FetchOutcome::Ok
+            }
+            InstClass::Branch | InstClass::Call => {
+                let pred_target = p.btb.predict(inst.pc);
+                p.btb.update(inst.pc, inst.next_pc);
+                if inst.class == InstClass::Call && p.config.use_ras && !p.config.dual_ras {
+                    p.ras.push(inst.pc + inst.size as u64);
+                }
+                if pred_target != Some(inst.next_pc) {
+                    return FetchOutcome::Misfetch;
+                }
+                FetchOutcome::Ok
+            }
+            InstClass::IndirectJump | InstClass::IndirectCall => {
+                let pred_target = p.btb.predict(inst.pc);
+                p.btb.update(inst.pc, inst.next_pc);
+                if inst.class == InstClass::IndirectCall && p.config.use_ras && !p.config.dual_ras
+                {
+                    p.ras.push(inst.pc + inst.size as u64);
+                }
+                if pred_target != Some(inst.next_pc) {
+                    self.stats.indirect_mispredicts += 1;
+                    return FetchOutcome::IndirectMispredict;
+                }
+                FetchOutcome::Ok
+            }
+            InstClass::Return => {
+                if !p.config.use_ras {
+                    // No RAS: the BTB is all we have for returns.
+                    let pred_target = p.btb.predict(inst.pc);
+                    p.btb.update(inst.pc, inst.next_pc);
+                    if pred_target != Some(inst.next_pc) {
+                        self.stats.return_mispredicts += 1;
+                        return FetchOutcome::ReturnMispredict;
+                    }
+                    return FetchOutcome::Ok;
+                }
+                if p.config.dual_ras {
+                    // Dual-address RAS: prediction is correct iff the popped
+                    // V-address matches the return's actual V-target.
+                    match p.dual_ras.pop() {
+                        Some((v, _i)) if v == inst.v_target => FetchOutcome::Ok,
+                        _ => {
+                            self.stats.return_mispredicts += 1;
+                            FetchOutcome::ReturnMispredict
+                        }
+                    }
+                } else {
+                    match p.ras.pop() {
+                        Some(t) if t == inst.next_pc => FetchOutcome::Ok,
+                        _ => {
+                            self.stats.return_mispredicts += 1;
+                            FetchOutcome::ReturnMispredict
+                        }
+                    }
+                }
+            }
+            InstClass::DualRasPush => {
+                if let Some((v, i)) = inst.ras_pair {
+                    p.dual_ras.push(v, i);
+                }
+                FetchOutcome::Ok
+            }
+            _ => FetchOutcome::Ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, InstHierarchy, MemoryLatencies};
+    use crate::predictors::{BranchPredictors, PredictorConfig};
+
+    fn frontend(config: PredictorConfig) -> Frontend {
+        Frontend::new(
+            BranchPredictors::new(config),
+            InstHierarchy::new(
+                CacheConfig::icache_32k(),
+                CacheConfig::l2_1m(),
+                MemoryLatencies::default(),
+            ),
+            4,
+            3,
+            3,
+        )
+    }
+
+    fn seq(pc: u64) -> DynInst {
+        DynInst::alu(pc, 4)
+    }
+
+    #[test]
+    fn bandwidth_limits_fetch_groups() {
+        let mut fe = frontend(PredictorConfig::default());
+        // Warm the I-cache line first.
+        let (c0, _) = fe.fetch(&seq(0x1000));
+        // 4-wide: next three share the cycle, the 5th starts a new one.
+        let (c1, _) = fe.fetch(&seq(0x1004));
+        let (c2, _) = fe.fetch(&seq(0x1008));
+        let (c3, _) = fe.fetch(&seq(0x100c));
+        let (c4, _) = fe.fetch(&seq(0x1010));
+        assert_eq!(c0, c1);
+        assert_eq!(c1, c2);
+        assert_eq!(c2, c3);
+        assert_eq!(c4, c3 + 1);
+    }
+
+    #[test]
+    fn taken_branch_ends_group() {
+        let mut fe = frontend(PredictorConfig::default());
+        let mut br = DynInst::alu(0x1000, 4);
+        br.class = InstClass::Branch;
+        br.taken = true;
+        br.next_pc = 0x1800; // same line size domain, different line
+        fe.fetch(&seq(0x1000)); // warm line, group 0 — wait, use branch directly
+        let mut fe = frontend(PredictorConfig::default());
+        let (_, out) = fe.fetch(&br);
+        // Cold BTB → misfetch.
+        assert_eq!(out, FetchOutcome::Misfetch);
+        // Second encounter: BTB knows the target.
+        let mut fe2 = frontend(PredictorConfig::default());
+        fe2.fetch(&br);
+        let (_c, out2) = {
+            // Re-fetch target inst then the branch again.
+            fe2.fetch(&seq(0x1800));
+            fe2.fetch(&br)
+        };
+        assert_eq!(out2, FetchOutcome::Ok);
+    }
+
+    #[test]
+    fn cond_mispredict_counted_and_needs_backend() {
+        let mut fe = frontend(PredictorConfig::default());
+        let mut br = DynInst::alu(0x2000, 4);
+        br.class = InstClass::CondBranch;
+        br.taken = false; // gshare initialized weakly-taken → mispredict
+        let (_, out) = fe.fetch(&br);
+        assert_eq!(out, FetchOutcome::CondMispredict);
+        assert!(out.needs_execute_redirect());
+        assert_eq!(fe.stats().cond_mispredicts, 1);
+    }
+
+    #[test]
+    fn resume_at_advances_fetch() {
+        let mut fe = frontend(PredictorConfig::default());
+        let (c0, _) = fe.fetch(&seq(0x1000));
+        fe.resume_at(c0 + 50);
+        let (c1, _) = fe.fetch(&seq(0x1004));
+        assert_eq!(c1, c0 + 50);
+        // resume_at never goes backwards.
+        fe.resume_at(0);
+        let (c2, _) = fe.fetch(&seq(0x1008));
+        assert!(c2 >= c1);
+    }
+
+    #[test]
+    fn dual_ras_predicts_matching_vaddr() {
+        let config = PredictorConfig {
+            dual_ras: true,
+            ..PredictorConfig::default()
+        };
+        let mut fe = frontend(config);
+        let mut push = DynInst::alu(0x3000, 8);
+        push.class = InstClass::DualRasPush;
+        push.ras_pair = Some((0x9000, 0xf100));
+        fe.fetch(&push);
+        let mut ret = DynInst::alu(0x3008, 2);
+        ret.class = InstClass::Return;
+        ret.v_target = 0x9000;
+        ret.next_pc = 0xf100;
+        let (_, out) = fe.fetch(&ret);
+        assert_eq!(out, FetchOutcome::Ok);
+        assert_eq!(fe.stats().return_mispredicts, 0);
+
+        // A second return with nothing on the stack mispredicts.
+        let (_, out2) = fe.fetch(&ret);
+        assert_eq!(out2, FetchOutcome::ReturnMispredict);
+    }
+
+    #[test]
+    fn conventional_ras_call_return() {
+        let mut fe = frontend(PredictorConfig::default());
+        let mut call = DynInst::alu(0x4000, 4);
+        call.class = InstClass::Call;
+        call.taken = true;
+        call.next_pc = 0x5000;
+        fe.fetch(&call);
+        let mut ret = DynInst::alu(0x5000, 4);
+        ret.class = InstClass::Return;
+        ret.next_pc = 0x4004;
+        let (_, out) = fe.fetch(&ret);
+        assert_eq!(out, FetchOutcome::Ok);
+    }
+
+    #[test]
+    fn no_ras_returns_fall_back_to_btb() {
+        let config = PredictorConfig {
+            use_ras: false,
+            ..PredictorConfig::default()
+        };
+        let mut fe = frontend(config);
+        let mut ret = DynInst::alu(0x6000, 4);
+        ret.class = InstClass::Return;
+        ret.next_pc = 0x4004;
+        let (_, out) = fe.fetch(&ret);
+        assert_eq!(out, FetchOutcome::ReturnMispredict); // cold BTB
+        let (_, out2) = fe.fetch(&ret);
+        assert_eq!(out2, FetchOutcome::Ok); // BTB trained, same target
+    }
+}

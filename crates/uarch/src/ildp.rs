@@ -1,0 +1,502 @@
+//! The ILDP distributed microarchitecture timing model.
+//!
+//! The accumulator-oriented machine of Kim & Smith (ISCA 2002), as
+//! configured in the paper's Table 1 (right column): a conventional
+//! pipelined front end (shared with the superscalar model), GPR renaming,
+//! and **steering by accumulator number** to 4/6/8 processing elements.
+//! Each PE is a single-issue in-order FIFO with a local physical
+//! accumulator and a local copy of the GPR file; GPR values produced on one
+//! PE become visible to the others after a global communication latency of
+//! 0 or 2 cycles. A 128-entry reorder buffer retires 4 instructions per
+//! cycle in order. The L1 D-cache is replicated across PEs (same latency
+//! as the superscalar's cache, per the paper).
+
+use crate::cache::{CacheConfig, DataHierarchy, InstHierarchy, MemoryLatencies};
+use crate::frontend::Frontend;
+use crate::predictors::{BranchPredictors, PredictorConfig};
+use crate::sched::{MonotonicBandwidth, OccupancyRing};
+use crate::trace::{DynInst, InstClass, TimingModel, TimingStats};
+
+/// Configuration of the ILDP machine (paper Table 1 defaults: 8 PEs,
+/// 0-cycle communication for the Figure 8 comparison; Figure 9 sweeps PE
+/// count, D-cache size and communication latency).
+#[derive(Clone, Debug)]
+pub struct IldpConfig {
+    /// Decode/rename/retire width in instructions per cycle.
+    pub width: u32,
+    /// Maximum sequential basic blocks fetched per cycle.
+    pub max_fetch_blocks: u32,
+    /// Number of processing elements (paper: 4, 6 or 8).
+    pub pe_count: usize,
+    /// Instruction FIFO depth per PE.
+    pub fifo_depth: usize,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Global (inter-PE) communication latency in cycles (paper: 0 or 2).
+    pub comm_latency: u64,
+    /// Locality window for dependence-aware steering: a new strand is
+    /// steered to the PE that produced its GPR source operand unless that
+    /// PE's backlog exceeds the least-loaded PE's by more than this many
+    /// cycles. This is the paper's "simple steering based on accumulator
+    /// numbers": keeping a recurrence's strand on its producer's PE is
+    /// what makes the machine tolerant of global wire latency (§4.5).
+    pub steer_locality_window: u64,
+    /// Fetch-to-dispatch pipeline depth.
+    pub front_depth: u64,
+    /// Fetch redirection penalty.
+    pub redirect_penalty: u64,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Branch predictor complex (dual-address RAS enabled by default:
+    /// translated code relies on it).
+    pub predictors: PredictorConfig,
+    /// L1 I-cache geometry.
+    pub icache: CacheConfig,
+    /// Replicated L1 D-cache geometry (paper: 32 KB 4-way or 8 KB 2-way).
+    pub dcache: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Memory-system latencies.
+    pub latencies: MemoryLatencies,
+}
+
+impl Default for IldpConfig {
+    fn default() -> IldpConfig {
+        IldpConfig {
+            width: 4,
+            max_fetch_blocks: 3,
+            pe_count: 8,
+            fifo_depth: 16,
+            rob_size: 128,
+            comm_latency: 0,
+            steer_locality_window: 8,
+            front_depth: 2,
+            redirect_penalty: 3,
+            mul_latency: 7,
+            predictors: PredictorConfig {
+                dual_ras: true,
+                ..PredictorConfig::default()
+            },
+            icache: CacheConfig::icache_32k(),
+            dcache: CacheConfig::dcache_32k(),
+            l2: CacheConfig::l2_1m(),
+            latencies: MemoryLatencies::default(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Default, Debug)]
+struct GprState {
+    ready: u64,
+    pe: usize,
+}
+
+/// The ILDP timing model. See the module documentation.
+///
+/// # Examples
+///
+/// ```
+/// use ildp_uarch::{DynInst, IldpConfig, IldpModel, TimingModel};
+/// let mut model = IldpModel::new(IldpConfig::default());
+/// for i in 0..1_000u64 {
+///     let mut d = DynInst::alu(0x1000 + (i % 16) * 2, 2);
+///     d.acc = Some((i % 4) as u8); // four independent strands
+///     d.acc_read = i >= 4;         // first instruction starts each strand
+///     d.acc_write = true;
+///     model.retire(&d);
+/// }
+/// let stats = model.finish();
+/// assert!(stats.ipc() > 1.0);
+/// ```
+#[derive(Debug)]
+pub struct IldpModel {
+    config: IldpConfig,
+    frontend: Frontend,
+    dcache: DataHierarchy,
+    dispatch_bw: MonotonicBandwidth,
+    retire_bw: MonotonicBandwidth,
+    rob: OccupancyRing,
+    /// Per-PE: issue timestamp of the most recently issued instruction.
+    pe_last_issue: Vec<u64>,
+    /// Per-PE: FIFO occupancy ring (departure = issue time).
+    pe_fifo: Vec<OccupancyRing>,
+    /// Per-PE: issue time of the instruction at the FIFO tail (backlog
+    /// estimate used for steering).
+    pe_tail_issue: Vec<u64>,
+    /// Where each logical accumulator currently lives, and when its value
+    /// is ready.
+    acc_pe: Vec<usize>,
+    acc_ready: Vec<u64>,
+    gprs: [GprState; 256],
+    steer_rr: usize,
+    /// Diagnostic: GPR reads whose ready time was extended by the global
+    /// communication latency (cross-PE value needed hot).
+    pub comm_stalled_reads: u64,
+    /// Diagnostic: GPR reads satisfied locally or already cold.
+    pub other_reads: u64,
+    /// Instructions issued per PE (utilization accounting).
+    pe_issued: Vec<u64>,
+    last_retire: u64,
+    last_store_complete: u64,
+    instructions: u64,
+    v_instructions: u64,
+}
+
+impl IldpModel {
+    /// Creates a model from a configuration.
+    pub fn new(config: IldpConfig) -> IldpModel {
+        let frontend = Frontend::new(
+            BranchPredictors::new(config.predictors),
+            InstHierarchy::new(config.icache, config.l2, config.latencies),
+            config.width,
+            config.max_fetch_blocks,
+            config.redirect_penalty,
+        );
+        let dcache = DataHierarchy::new(config.dcache, config.l2, config.latencies);
+        IldpModel {
+            frontend,
+            dcache,
+            dispatch_bw: MonotonicBandwidth::new(config.width),
+            retire_bw: MonotonicBandwidth::new(config.width),
+            rob: OccupancyRing::new(config.rob_size),
+            pe_last_issue: vec![0; config.pe_count],
+            pe_fifo: (0..config.pe_count)
+                .map(|_| OccupancyRing::new(config.fifo_depth))
+                .collect(),
+            pe_tail_issue: vec![0; config.pe_count],
+            acc_pe: vec![0; 16],
+            acc_ready: vec![0; 16],
+            gprs: [GprState::default(); 256],
+            steer_rr: 0,
+            comm_stalled_reads: 0,
+            other_reads: 0,
+            pe_issued: vec![0; config.pe_count],
+            last_retire: 0,
+            last_store_complete: 0,
+            instructions: 0,
+            v_instructions: 0,
+            config,
+        }
+    }
+
+    /// Steers an instruction to a PE (paper [28]: strand-continuing
+    /// instructions follow their accumulator; strand-starting instructions
+    /// go to the least-loaded FIFO).
+    fn steer(&mut self, inst: &DynInst) -> usize {
+        if let Some(acc) = inst.acc {
+            let acc = acc as usize;
+            if inst.acc_read {
+                return self.acc_pe[acc];
+            }
+            // New strand: dependence-aware steering. Choose the PE with
+            // the earliest *estimated issue time* for this instruction —
+            // the max of the FIFO backlog and the operand arrival times,
+            // where GPR sources produced on another PE pay the global
+            // communication latency. This is the backlog-vs-wire-delay
+            // tradeoff that makes strand steering latency tolerant
+            // (paper §4.5): recurrences stay on their producer's PE while
+            // independent strands still spread across the machine.
+            let mut best_pe = 0;
+            let mut best_est = u64::MAX;
+            for pe in 0..self.config.pe_count {
+                let mut est = self.pe_tail_issue[pe] + 1;
+                for src in inst.srcs.iter().flatten() {
+                    let g = self.gprs[*src as usize];
+                    let comm = if g.pe == pe { 0 } else { self.config.comm_latency };
+                    est = est.max(g.ready + comm);
+                }
+                if est < best_est {
+                    best_est = est;
+                    best_pe = pe;
+                }
+            }
+            self.acc_pe[acc] = best_pe;
+            return best_pe;
+        }
+        // Accumulator-less instructions (branches to dispatch, specials):
+        // round-robin to spread front-end work.
+        self.steer_rr = (self.steer_rr + 1) % self.config.pe_count;
+        self.steer_rr
+    }
+
+    /// Instructions issued by each processing element, in PE order — the
+    /// load-balance picture behind the steering heuristic. The sum equals
+    /// the retired instruction count.
+    pub fn pe_utilization(&self) -> &[u64] {
+        &self.pe_issued
+    }
+
+    fn exec_latency(&mut self, inst: &DynInst) -> u64 {
+        match inst.class {
+            InstClass::IntMul => self.config.mul_latency,
+            InstClass::Load => match inst.mem_addr {
+                Some(addr) => self.dcache.access(addr),
+                None => self.config.latencies.l1_hit,
+            },
+            InstClass::Store => {
+                if let Some(addr) = inst.mem_addr {
+                    self.dcache.access(addr);
+                }
+                1
+            }
+            _ => 1,
+        }
+    }
+}
+
+impl TimingModel for IldpModel {
+    fn retire(&mut self, inst: &DynInst) {
+        let (fetch_cycle, outcome) = self.frontend.fetch(inst);
+
+        let pe = self.steer(inst);
+
+        // Dispatch: decode width, ROB space, FIFO space on the target PE.
+        let earliest = (fetch_cycle + self.config.front_depth)
+            .max(self.rob.earliest_insert())
+            .max(self.pe_fifo[pe].earliest_insert());
+        let dispatch = self.dispatch_bw.allocate(earliest);
+
+        // Operand readiness: local accumulator plus GPRs with
+        // communication latency for cross-PE values.
+        let mut ready = dispatch + 1;
+        if inst.acc_read {
+            if let Some(acc) = inst.acc {
+                ready = ready.max(self.acc_ready[acc as usize]);
+            }
+        }
+        for src in inst.srcs.iter().flatten() {
+            let g = self.gprs[*src as usize];
+            let comm = if g.pe == pe { 0 } else { self.config.comm_latency };
+            if comm > 0 && g.ready + comm > ready {
+                self.comm_stalled_reads += 1;
+            } else {
+                self.other_reads += 1;
+            }
+            ready = ready.max(g.ready + comm);
+        }
+        if inst.class == InstClass::Store {
+            ready = ready.max(self.last_store_complete);
+        }
+
+        // In-order single issue from the PE's FIFO head.
+        self.pe_issued[pe] += 1;
+        let issue = ready.max(self.pe_last_issue[pe] + 1);
+        self.pe_last_issue[pe] = issue;
+        self.pe_fifo[pe].push(issue);
+        self.pe_tail_issue[pe] = issue;
+
+        let complete = issue + self.exec_latency(inst);
+
+        if inst.acc_write {
+            if let Some(acc) = inst.acc {
+                self.acc_ready[acc as usize] = complete;
+            }
+        }
+        if let Some(dst) = inst.dst {
+            self.gprs[dst as usize] = GprState { ready: complete, pe };
+        }
+        if inst.class == InstClass::Store {
+            self.last_store_complete = complete;
+        }
+
+        if outcome.needs_execute_redirect() {
+            self.frontend
+                .resume_at(complete + self.config.redirect_penalty);
+        }
+
+        let retire = self
+            .retire_bw
+            .allocate(complete.max(self.last_retire).max(dispatch + 1));
+        self.last_retire = retire;
+        self.rob.push(retire);
+
+        self.instructions += 1;
+        self.v_instructions += inst.vcount as u64;
+    }
+
+    fn finish(&mut self) -> TimingStats {
+        let fe = self.frontend.stats();
+        TimingStats {
+            cycles: self.last_retire,
+            instructions: self.instructions,
+            v_instructions: self.v_instructions,
+            cond_mispredicts: fe.cond_mispredicts,
+            indirect_mispredicts: fe.indirect_mispredicts,
+            return_mispredicts: fe.return_mispredicts,
+            misfetches: fe.misfetches,
+            cond_branches: fe.cond_branches,
+            icache_misses: fe.icache_misses,
+            dcache_misses: self.dcache.l1_misses(),
+            l2_misses: self.dcache.l2_misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strand_inst(pc: u64, acc: u8, continue_strand: bool) -> DynInst {
+        let mut d = DynInst::alu(pc, 2);
+        d.acc = Some(acc);
+        d.acc_read = continue_strand;
+        d.acc_write = true;
+        d
+    }
+
+    fn run(config: IldpConfig, insts: impl IntoIterator<Item = DynInst>) -> TimingStats {
+        let mut m = IldpModel::new(config);
+        for i in insts {
+            m.retire(&i);
+        }
+        m.finish()
+    }
+
+    #[test]
+    fn parallel_strands_scale_with_pes() {
+        // Four long dependence chains interleaved: 4 PEs can sustain ~4/cy
+        // only if steering separates them.
+        let insts: Vec<DynInst> = (0..40_000u64)
+            .map(|i| strand_inst(0x1000 + (i % 32) * 2, (i % 4) as u8, i >= 4))
+            .collect();
+        let four = run(
+            IldpConfig {
+                pe_count: 4,
+                ..IldpConfig::default()
+            },
+            insts.iter().copied(),
+        );
+        let one_strand: Vec<DynInst> = (0..40_000u64)
+            .map(|i| strand_inst(0x1000 + (i % 32) * 2, 0, i >= 1))
+            .collect();
+        let serial = run(IldpConfig::default(), one_strand);
+        assert!(
+            four.ipc() > serial.ipc() * 2.5,
+            "four strands {} vs one {}",
+            four.ipc(),
+            serial.ipc()
+        );
+        assert!(serial.ipc() < 1.2);
+    }
+
+    #[test]
+    fn communication_latency_slows_cross_strand_values() {
+        // Two producers, each pinned to its own PE by a private GPR
+        // recurrence, feed one consumer: at least one edge must cross
+        // PEs, so 2-cycle global communication costs cycles. (A single
+        // producer/consumer pair would be co-located by the
+        // dependence-aware steering and correctly see no penalty.)
+        let make = || {
+            (0..20_000u64).flat_map(|i| {
+                let mut prod_a = strand_inst(0x1000 + (i % 8) * 8, 0, false);
+                prod_a.srcs[0] = Some(7); // recurrence keeps it put
+                prod_a.dst = Some(7);
+                let mut prod_b = strand_inst(0x1002 + (i % 8) * 8, 1, false);
+                prod_b.srcs[0] = Some(8);
+                prod_b.dst = Some(8);
+                let mut consumer = strand_inst(0x1004 + (i % 8) * 8, 2, false);
+                consumer.srcs[0] = Some(7);
+                consumer.srcs[1] = Some(8);
+                consumer.dst = Some(9);
+                [prod_a, prod_b, consumer]
+            })
+        };
+        let zero = run(
+            IldpConfig {
+                comm_latency: 0,
+                ..IldpConfig::default()
+            },
+            make(),
+        );
+        let two = run(
+            IldpConfig {
+                comm_latency: 2,
+                ..IldpConfig::default()
+            },
+            make(),
+        );
+        assert!(
+            two.cycles > zero.cycles,
+            "2-cycle comm must not be free: {} vs {}",
+            two.cycles,
+            zero.cycles
+        );
+    }
+
+    #[test]
+    fn ipc_bounded_by_width() {
+        let insts = (0..10_000u64).map(|i| strand_inst(0x1000 + (i % 64) * 2, (i % 8) as u8, false));
+        let stats = run(IldpConfig::default(), insts);
+        assert!(stats.ipc() <= 4.0 + 1e-9);
+        assert!(stats.ipc() > 2.0);
+    }
+
+    #[test]
+    fn fifo_depth_backpressures_dispatch() {
+        // A single stalled strand (long loads) fills its FIFO; dispatch of
+        // that strand stalls but the model must still make progress.
+        let insts: Vec<DynInst> = (0..2_000u64)
+            .map(|i| {
+                let mut d = strand_inst(0x1000 + (i % 8) * 2, 0, true);
+                d.class = InstClass::Load;
+                d.mem_addr = Some(0x100_0000 + i * 64 * 4096);
+                d
+            })
+            .collect();
+        let shallow = run(
+            IldpConfig {
+                fifo_depth: 2,
+                ..IldpConfig::default()
+            },
+            insts.iter().copied(),
+        );
+        assert!(shallow.ipc() < 0.5);
+        assert_eq!(shallow.instructions, 2_000);
+    }
+
+    #[test]
+    fn pe_utilization_sums_and_spreads() {
+        let insts: Vec<DynInst> = (0..10_000u64)
+            .map(|i| strand_inst(0x1000 + (i % 64) * 2, (i % 4) as u8, false))
+            .collect();
+        let mut m = IldpModel::new(IldpConfig::default());
+        for d in &insts {
+            m.retire(d);
+        }
+        let util = m.pe_utilization().to_vec();
+        assert_eq!(util.iter().sum::<u64>(), insts.len() as u64);
+        // Independent strands must not pile onto one PE.
+        let max = *util.iter().max().unwrap();
+        assert!(
+            max < insts.len() as u64 / 2,
+            "steering collapsed onto one PE: {util:?}"
+        );
+    }
+
+    #[test]
+    fn replicated_small_dcache_misses_more() {
+        let insts: Vec<DynInst> = (0..30_000u64)
+            .map(|i| {
+                let mut d = strand_inst(0x1000 + (i % 16) * 2, (i % 4) as u8, false);
+                d.class = InstClass::Load;
+                // 16 KB working set: fits in 32 KB, thrashes 8 KB.
+                d.mem_addr = Some(0x20_0000 + (i * 64) % (16 * 1024));
+                d
+            })
+            .collect();
+        let big = run(IldpConfig::default(), insts.iter().copied());
+        let small = run(
+            IldpConfig {
+                dcache: CacheConfig::dcache_8k(),
+                ..IldpConfig::default()
+            },
+            insts.iter().copied(),
+        );
+        assert!(
+            small.dcache_misses > big.dcache_misses * 5,
+            "8KB {} vs 32KB {}",
+            small.dcache_misses,
+            big.dcache_misses
+        );
+    }
+}

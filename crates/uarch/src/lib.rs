@@ -1,0 +1,56 @@
+//! # ildp-uarch — trace-driven timing models
+//!
+//! The microarchitecture substrate of the CGO 2003 reproduction: the two
+//! machines of the paper's Table 1, built from shared components.
+//!
+//! * [`SuperscalarModel`] — the reference 4-wide out-of-order superscalar
+//!   (128-entry ROB/window, 4 symmetric FUs, oldest-first issue) used for
+//!   the "original" and "code-straightening-only" configurations.
+//! * [`IldpModel`] — the distributed accumulator machine: GPR renaming,
+//!   steering by accumulator number to 4/6/8 in-order single-issue PE
+//!   FIFOs, replicated L1 D-cache, 0/2-cycle global communication latency.
+//!
+//! Shared components: a fetch front end ([`Frontend`]) with a gshare
+//! direction predictor, BTB, conventional RAS and the paper's proposed
+//! **dual-address RAS** (§3.2); and a two-level cache hierarchy with the
+//! Table 1 geometries.
+//!
+//! Both models consume a stream of retired [`DynInst`] records (produced by
+//! the `ildp-core` VM) through the [`TimingModel`] trait and report
+//! [`TimingStats`], including the paper's metrics: V-ISA IPC and
+//! mispredictions per 1,000 instructions.
+//!
+//! # Examples
+//!
+//! ```
+//! use ildp_uarch::{DynInst, SuperscalarConfig, SuperscalarModel, TimingModel};
+//!
+//! let mut model = SuperscalarModel::new(SuperscalarConfig::default());
+//! for i in 0..1_000u64 {
+//!     model.retire(&DynInst::alu(0x1_0000 + (i % 64) * 4, 4));
+//! }
+//! let stats = model.finish();
+//! assert!(stats.ipc() > 1.0 && stats.ipc() <= 4.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod frontend;
+mod ildp;
+mod predictors;
+mod sched;
+mod superscalar;
+mod trace;
+
+pub use cache::{
+    Cache, CacheConfig, DataHierarchy, InstHierarchy, MemoryLatencies, Replacement,
+};
+pub use frontend::{FetchOutcome, Frontend, FrontendStats};
+pub use ildp::{IldpConfig, IldpModel};
+pub use predictors::{
+    BranchPredictors, Btb, DualAddressRas, Gshare, PredictorConfig, ReturnAddressStack,
+};
+pub use sched::{IssueBandwidth, MonotonicBandwidth, OccupancyRing};
+pub use superscalar::{SuperscalarConfig, SuperscalarModel};
+pub use trace::{DynInst, InstClass, TimingModel, TimingStats};

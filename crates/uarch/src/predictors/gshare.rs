@@ -1,0 +1,103 @@
+//! Gshare conditional-branch direction predictor.
+
+/// A gshare predictor: a table of 2-bit saturating counters indexed by
+/// `pc ⊕ global_history` (paper Table 1: 16K entries, 12-bit global
+/// history).
+///
+/// # Examples
+///
+/// ```
+/// use ildp_uarch::Gshare;
+/// let mut p = Gshare::new(16 * 1024, 12);
+/// let pc = 0x1000;
+/// // Train an always-taken branch.
+/// for _ in 0..4 { p.update(pc, true); }
+/// assert!(p.predict(pc));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    index_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `entries` 2-bit counters (must be a power
+    /// of two) and `history_bits` of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `history_bits > 32`.
+    pub fn new(entries: usize, history_bits: u32) -> Gshare {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        assert!(history_bits <= 32, "history too long");
+        Gshare {
+            counters: vec![2; entries], // weakly taken
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+            index_mask: (entries - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // Instructions are at least 2-byte aligned (translated I-ISA code
+        // uses 16-bit encodings), so index by pc >> 1 to keep adjacent
+        // branches on distinct counters.
+        (((pc >> 1) ^ self.history) & self.index_mask) as usize
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Updates the counter and global history with the resolved direction.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u64) & self.history_mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut p = Gshare::new(1024, 8);
+        for _ in 0..8 {
+            p.update(0x40, false);
+        }
+        assert!(!p.predict(0x40));
+    }
+
+    #[test]
+    fn history_separates_correlated_paths() {
+        let mut p = Gshare::new(1024, 4);
+        // Alternating pattern T,N,T,N at a single PC: with history the
+        // predictor converges; count accuracy over the last 64 of 128.
+        let mut correct = 0;
+        for i in 0..128 {
+            let taken = i % 2 == 0;
+            let pred = p.predict(0x80);
+            if i >= 64 && pred == taken {
+                correct += 1;
+            }
+            p.update(0x80, taken);
+        }
+        assert!(correct >= 60, "only {correct}/64 correct");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Gshare::new(1000, 8);
+    }
+}

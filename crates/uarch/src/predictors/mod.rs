@@ -1,0 +1,95 @@
+//! Branch prediction structures (paper Table 1 and §3.2).
+
+mod btb;
+mod gshare;
+mod ras;
+
+pub use btb::Btb;
+pub use gshare::Gshare;
+pub use ras::{DualAddressRas, ReturnAddressStack};
+
+/// Configuration for the front-end prediction structures.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictorConfig {
+    /// gshare table entries (power of two).
+    pub gshare_entries: usize,
+    /// gshare global-history length in bits.
+    pub history_bits: u32,
+    /// BTB total entries.
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+    /// Return address stack depth.
+    pub ras_depth: usize,
+    /// Whether a return address stack is present at all (Figure 6 compares
+    /// with/without RAS).
+    pub use_ras: bool,
+    /// Whether the RAS is the dual-address flavor (translated code only).
+    pub dual_ras: bool,
+}
+
+impl Default for PredictorConfig {
+    /// Paper Table 1: 16K-entry 12-bit-history gshare, 512-entry 4-way BTB,
+    /// 8-entry RAS.
+    fn default() -> PredictorConfig {
+        PredictorConfig {
+            gshare_entries: 16 * 1024,
+            history_bits: 12,
+            btb_entries: 512,
+            btb_ways: 4,
+            ras_depth: 8,
+            use_ras: true,
+            dual_ras: false,
+        }
+    }
+}
+
+/// The complete front-end predictor complex: direction, target, and return
+/// address prediction, with misprediction accounting.
+#[derive(Clone, Debug)]
+pub struct BranchPredictors {
+    /// Direction predictor.
+    pub gshare: Gshare,
+    /// Target buffer.
+    pub btb: Btb,
+    /// Conventional RAS (used when `config.dual_ras` is false).
+    pub ras: ReturnAddressStack,
+    /// Dual-address RAS (used when `config.dual_ras` is true).
+    pub dual_ras: DualAddressRas,
+    /// The active configuration.
+    pub config: PredictorConfig,
+}
+
+impl BranchPredictors {
+    /// Creates the predictor complex from a configuration.
+    pub fn new(config: PredictorConfig) -> BranchPredictors {
+        BranchPredictors {
+            gshare: Gshare::new(config.gshare_entries, config.history_bits),
+            btb: Btb::new(config.btb_entries, config.btb_ways),
+            ras: ReturnAddressStack::new(config.ras_depth),
+            dual_ras: DualAddressRas::new(config.ras_depth),
+            config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = PredictorConfig::default();
+        assert_eq!(c.gshare_entries, 16384);
+        assert_eq!(c.history_bits, 12);
+        assert_eq!(c.btb_entries, 512);
+        assert_eq!(c.btb_ways, 4);
+        assert_eq!(c.ras_depth, 8);
+    }
+
+    #[test]
+    fn complex_constructs() {
+        let p = BranchPredictors::new(PredictorConfig::default());
+        assert!(p.config.use_ras);
+    }
+}

@@ -1,0 +1,175 @@
+//! Return address stacks: the conventional single-address RAS and the
+//! paper's proposed dual-address RAS.
+
+/// A conventional hardware return-address stack (paper Table 1: 8
+/// entries). Calls push the fall-through address; returns pop and predict.
+/// The stack wraps on overflow, silently overwriting the oldest entry, as
+/// real hardware does.
+///
+/// # Examples
+///
+/// ```
+/// use ildp_uarch::ReturnAddressStack;
+/// let mut ras = ReturnAddressStack::new(8);
+/// ras.push(0x1004);
+/// assert_eq!(ras.pop(), Some(0x1004));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    top: usize,
+    live: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> ReturnAddressStack {
+        assert!(depth > 0, "RAS depth must be positive");
+        ReturnAddressStack {
+            entries: vec![0; depth],
+            top: 0,
+            live: 0,
+        }
+    }
+
+    /// Pushes a return address (a call was fetched).
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = addr;
+        self.live = (self.live + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address (a return was fetched).
+    ///
+    /// Returns `None` when the stack is empty (prediction unavailable —
+    /// counted as a misprediction by callers).
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.live -= 1;
+        Some(addr)
+    }
+}
+
+/// The paper's **dual-address RAS** (§3.2): each entry pairs a V-ISA return
+/// address with the corresponding I-ISA (translated-code) return address.
+///
+/// A translated call executes `push-dual-address-RAS`, pushing both. When a
+/// translated return is fetched, the stack pops a pair; fetch is redirected
+/// to the popped I-ISA address, and the V-ISA half is later compared
+/// against the return instruction's actual register value. On mismatch the
+/// hardware squashes and control continues at the dispatch branch that
+/// follows the return.
+///
+/// # Examples
+///
+/// ```
+/// use ildp_uarch::DualAddressRas;
+/// let mut ras = DualAddressRas::new(8);
+/// ras.push(0x1_0004, 0xF000_0010);
+/// let (v, i) = ras.pop().unwrap();
+/// assert_eq!((v, i), (0x1_0004, 0xF000_0010));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DualAddressRas {
+    entries: Vec<(u64, u64)>,
+    top: usize,
+    live: usize,
+}
+
+impl DualAddressRas {
+    /// Creates a dual-address RAS with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> DualAddressRas {
+        assert!(depth > 0, "RAS depth must be positive");
+        DualAddressRas {
+            entries: vec![(0, 0); depth],
+            top: 0,
+            live: 0,
+        }
+    }
+
+    /// Pushes a (V-ISA, I-ISA) return-address pair.
+    pub fn push(&mut self, v_addr: u64, i_addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = (v_addr, i_addr);
+        self.live = (self.live + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted pair, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(u64, u64)> {
+        if self.live == 0 {
+            return None;
+        }
+        let pair = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.live -= 1;
+        Some(pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_loses_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn deep_recursion_mispredicts_after_depth() {
+        // Classic RAS behavior: recursion deeper than the stack loses the
+        // outermost frames.
+        let mut ras = ReturnAddressStack::new(8);
+        for i in 0..12u64 {
+            ras.push(i);
+        }
+        let mut correct = 0;
+        for i in (0..12u64).rev() {
+            if ras.pop() == Some(i) {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, 8);
+    }
+
+    #[test]
+    fn dual_ras_pairs() {
+        let mut ras = DualAddressRas::new(4);
+        ras.push(10, 100);
+        ras.push(20, 200);
+        assert_eq!(ras.pop(), Some((20, 200)));
+        assert_eq!(ras.pop(), Some((10, 100)));
+        assert_eq!(ras.pop(), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! Out-of-order superscalar timing model.
+//!
+//! The reference machine of the paper's Table 1 (left column): 4-wide
+//! fetch/decode/retire, a 128-entry reorder buffer whose full size is also
+//! the issue window, four symmetric functional units with oldest-first
+//! issue, and the shared cache hierarchy. This is the "original" and
+//! "code-straightening-only" simulator substrate.
+//!
+//! The model is trace-driven: each retired instruction's fetch, dispatch,
+//! issue, completion and retire cycles are derived from dependence times
+//! and resource scoreboards; wrong-path work is approximated by the
+//! 3-cycle redirect penalty, as in the paper's own simulators.
+
+use crate::cache::{CacheConfig, DataHierarchy, InstHierarchy, MemoryLatencies};
+use crate::frontend::Frontend;
+use crate::predictors::{BranchPredictors, PredictorConfig};
+use crate::sched::{IssueBandwidth, MonotonicBandwidth, OccupancyRing};
+use crate::trace::{DynInst, InstClass, TimingModel, TimingStats};
+
+/// Configuration of the superscalar machine (paper Table 1 defaults).
+#[derive(Clone, Debug)]
+pub struct SuperscalarConfig {
+    /// Fetch/decode/retire width in instructions per cycle.
+    pub width: u32,
+    /// Maximum sequential basic blocks fetched per cycle.
+    pub max_fetch_blocks: u32,
+    /// Reorder-buffer entries (= issue window size).
+    pub rob_size: usize,
+    /// Number of symmetric functional units (= issue bandwidth).
+    pub fus: u32,
+    /// Fetch-to-dispatch pipeline depth in cycles.
+    pub front_depth: u64,
+    /// Fetch redirection penalty (misfetch and mispredict).
+    pub redirect_penalty: u64,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Branch predictor complex.
+    pub predictors: PredictorConfig,
+    /// L1 I-cache geometry.
+    pub icache: CacheConfig,
+    /// L1 D-cache geometry.
+    pub dcache: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Memory-system latencies.
+    pub latencies: MemoryLatencies,
+}
+
+impl Default for SuperscalarConfig {
+    fn default() -> SuperscalarConfig {
+        SuperscalarConfig {
+            width: 4,
+            max_fetch_blocks: 3,
+            rob_size: 128,
+            fus: 4,
+            front_depth: 2,
+            redirect_penalty: 3,
+            mul_latency: 7,
+            predictors: PredictorConfig::default(),
+            icache: CacheConfig::icache_32k(),
+            dcache: CacheConfig::dcache_32k(),
+            l2: CacheConfig::l2_1m(),
+            latencies: MemoryLatencies::default(),
+        }
+    }
+}
+
+/// The out-of-order superscalar timing model. See the
+/// module documentation.
+///
+/// # Examples
+///
+/// ```
+/// use ildp_uarch::{DynInst, SuperscalarConfig, SuperscalarModel, TimingModel};
+/// let mut model = SuperscalarModel::new(SuperscalarConfig::default());
+/// for i in 0..1_000u64 {
+///     model.retire(&DynInst::alu(0x1000 + (i % 32) * 4, 4));
+/// }
+/// let stats = model.finish();
+/// assert_eq!(stats.instructions, 1_000);
+/// assert!(stats.ipc() > 1.0); // independent ALU ops run wide
+/// ```
+#[derive(Debug)]
+pub struct SuperscalarModel {
+    config: SuperscalarConfig,
+    frontend: Frontend,
+    dcache: DataHierarchy,
+    dispatch_bw: MonotonicBandwidth,
+    retire_bw: MonotonicBandwidth,
+    issue_bw: IssueBandwidth,
+    rob: OccupancyRing,
+    reg_ready: [u64; 256],
+    last_retire: u64,
+    last_store_complete: u64,
+    instructions: u64,
+    v_instructions: u64,
+    prune_tick: u64,
+}
+
+impl SuperscalarModel {
+    /// Creates a model from a configuration.
+    pub fn new(config: SuperscalarConfig) -> SuperscalarModel {
+        let frontend = Frontend::new(
+            BranchPredictors::new(config.predictors),
+            InstHierarchy::new(config.icache, config.l2, config.latencies),
+            config.width,
+            config.max_fetch_blocks,
+            config.redirect_penalty,
+        );
+        let dcache = DataHierarchy::new(config.dcache, config.l2, config.latencies);
+        SuperscalarModel {
+            frontend,
+            dcache,
+            dispatch_bw: MonotonicBandwidth::new(config.width),
+            retire_bw: MonotonicBandwidth::new(config.width),
+            issue_bw: IssueBandwidth::new(config.fus),
+            rob: OccupancyRing::new(config.rob_size),
+            reg_ready: [0; 256],
+            last_retire: 0,
+            last_store_complete: 0,
+            instructions: 0,
+            v_instructions: 0,
+            prune_tick: 0,
+            config,
+        }
+    }
+
+    fn exec_latency(&mut self, inst: &DynInst) -> u64 {
+        match inst.class {
+            InstClass::IntMul => self.config.mul_latency,
+            InstClass::Load => match inst.mem_addr {
+                Some(addr) => self.dcache.access(addr),
+                None => self.config.latencies.l1_hit,
+            },
+            InstClass::Store => {
+                // Stores retire through a store buffer; the cache access is
+                // tracked for miss statistics but off the critical path.
+                if let Some(addr) = inst.mem_addr {
+                    self.dcache.access(addr);
+                }
+                1
+            }
+            _ => 1,
+        }
+    }
+}
+
+impl TimingModel for SuperscalarModel {
+    fn retire(&mut self, inst: &DynInst) {
+        let (fetch_cycle, outcome) = self.frontend.fetch(inst);
+
+        // Dispatch: front-end depth, decode bandwidth, ROB space.
+        let earliest = (fetch_cycle + self.config.front_depth).max(self.rob.earliest_insert());
+        let dispatch = self.dispatch_bw.allocate(earliest);
+
+        // Operand readiness.
+        let mut ready = dispatch + 1;
+        for src in inst.srcs.iter().flatten() {
+            ready = ready.max(self.reg_ready[*src as usize]);
+        }
+        // Stores are ordered behind prior stores (memory ordering).
+        if inst.class == InstClass::Store {
+            ready = ready.max(self.last_store_complete);
+        }
+
+        // Issue: four symmetric FUs, any instruction class.
+        let issue = self.issue_bw.allocate(ready);
+        let complete = issue + self.exec_latency(inst);
+
+        if let Some(dst) = inst.dst {
+            self.reg_ready[dst as usize] = complete;
+        }
+        if inst.class == InstClass::Store {
+            self.last_store_complete = complete;
+        }
+
+        // Branch resolution redirects fetch.
+        if outcome.needs_execute_redirect() {
+            self.frontend
+                .resume_at(complete + self.config.redirect_penalty);
+        }
+
+        // In-order retirement.
+        let retire = self
+            .retire_bw
+            .allocate(complete.max(self.last_retire).max(dispatch + 1));
+        self.last_retire = retire;
+        self.rob.push(retire);
+
+        self.instructions += 1;
+        self.v_instructions += inst.vcount as u64;
+
+        self.prune_tick += 1;
+        if self.prune_tick % 4096 == 0 {
+            // Nothing can issue before the ROB head's dispatch time; use a
+            // conservative bound.
+            self.issue_bw
+                .prune_below(self.rob.earliest_insert().saturating_sub(1));
+        }
+    }
+
+    fn finish(&mut self) -> TimingStats {
+        let fe = self.frontend.stats();
+        TimingStats {
+            cycles: self.last_retire,
+            instructions: self.instructions,
+            v_instructions: self.v_instructions,
+            cond_mispredicts: fe.cond_mispredicts,
+            indirect_mispredicts: fe.indirect_mispredicts,
+            return_mispredicts: fe.return_mispredicts,
+            misfetches: fe.misfetches,
+            cond_branches: fe.cond_branches,
+            icache_misses: fe.icache_misses,
+            dcache_misses: self.dcache.l1_misses(),
+            l2_misses: self.dcache.l2_misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(insts: impl IntoIterator<Item = DynInst>) -> TimingStats {
+        let mut m = SuperscalarModel::new(SuperscalarConfig::default());
+        for i in insts {
+            m.retire(&i);
+        }
+        m.finish()
+    }
+
+    #[test]
+    fn independent_alu_ipc_near_width() {
+        let stats = run((0..10_000u64).map(|i| DynInst::alu(0x1000 + (i % 16) * 4, 4)));
+        assert!(stats.ipc() > 3.0, "ipc = {}", stats.ipc());
+        assert!(stats.ipc() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn dependent_chain_ipc_near_one() {
+        let stats = run((0..10_000u64).map(|i| {
+            let mut d = DynInst::alu(0x1000 + (i % 16) * 4, 4);
+            d.srcs[0] = Some(1);
+            d.dst = Some(1);
+            d
+        }));
+        assert!(stats.ipc() < 1.2, "ipc = {}", stats.ipc());
+        assert!(stats.ipc() > 0.8, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn ipc_never_exceeds_width() {
+        let stats = run((0..5_000u64).map(|i| DynInst::alu(0x1000 + (i % 8) * 4, 4)));
+        assert!(stats.ipc() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_cycles() {
+        // A loop whose branch alternates unpredictably vs. one always taken.
+        let make = |regular: bool| {
+            (0..20_000u64).map(move |i| {
+                let mut d = DynInst::alu(0x1000 + (i % 4) * 4, 4);
+                if i % 4 == 3 {
+                    d.class = InstClass::CondBranch;
+                    // Irregular pattern defeats gshare; regular is learned.
+                    d.taken = if regular {
+                        true
+                    } else {
+                        // Hash-random direction (splitmix64 finalizer):
+                        // unlearnable by gshare.
+                        let mut z = (i / 4).wrapping_add(0x9e37_79b9_7f4a_7c15);
+                        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                        (z ^ (z >> 31)) & 1 == 1
+                    };
+                    d.next_pc = if d.taken { 0x1000 } else { 0x1010 };
+                }
+                d
+            })
+        };
+        let regular = run(make(true));
+        let irregular = run(make(false));
+        assert!(
+            irregular.cycles > regular.cycles * 3 / 2,
+            "irregular {} vs regular {}",
+            irregular.cycles,
+            regular.cycles
+        );
+        assert!(irregular.cond_mispredicts > regular.cond_mispredicts * 5);
+    }
+
+    #[test]
+    fn cache_missing_loads_slow_execution() {
+        let hit = run((0..5_000u64).map(|i| {
+            let mut d = DynInst::alu(0x1000 + (i % 8) * 4, 4);
+            d.class = InstClass::Load;
+            d.mem_addr = Some(0x10_0000); // same line: always hits
+            d.dst = Some(2);
+            d.srcs[0] = Some(2); // pointer chase: serialize on the load
+            d
+        }));
+        let miss = run((0..5_000u64).map(|i| {
+            let mut d = DynInst::alu(0x1000 + (i % 8) * 4, 4);
+            d.class = InstClass::Load;
+            // Stride larger than L2 capacity: miss to memory every time.
+            d.mem_addr = Some(0x10_0000 + i * 4096 * 64);
+            d.dst = Some(2);
+            d.srcs[0] = Some(2);
+            d
+        }));
+        assert!(
+            miss.cycles > hit.cycles * 10,
+            "miss {} vs hit {}",
+            miss.cycles,
+            hit.cycles
+        );
+        assert!(miss.dcache_misses > 4_000);
+    }
+
+    #[test]
+    fn rob_limits_runahead_past_long_miss() {
+        // One memory-miss load followed by thousands of independent ALU
+        // ops: the ROB caps how much independent work hides the miss.
+        let mut insts = Vec::new();
+        let mut ld = DynInst::alu(0x1000, 4);
+        ld.class = InstClass::Load;
+        ld.mem_addr = Some(0xdead_0000);
+        ld.dst = Some(9);
+        insts.push(ld);
+        for i in 0..1_000u64 {
+            insts.push(DynInst::alu(0x2000 + (i % 32) * 4, 4));
+        }
+        // A dependent consumer at the end.
+        let mut user = DynInst::alu(0x3000, 4);
+        user.srcs[0] = Some(9);
+        insts.push(user);
+        let stats = run(insts);
+        // 1002 instructions, ~82 cycles of miss latency + ~250 cycles of
+        // ALU retirement: reasonable bounds assert the ROB model is active.
+        assert!(stats.cycles > 260, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn vcount_attribution() {
+        let mut m = SuperscalarModel::new(SuperscalarConfig::default());
+        let mut d = DynInst::alu(0x1000, 4);
+        d.vcount = 3;
+        m.retire(&d);
+        let stats = m.finish();
+        assert_eq!(stats.instructions, 1);
+        assert_eq!(stats.v_instructions, 3);
+        assert!(stats.v_ipc() >= stats.ipc());
+    }
+}

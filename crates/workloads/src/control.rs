@@ -1,0 +1,486 @@
+//! Control-flow-heavy benchmarks: `gcc`, `perlbmk`, `vortex`, `eon`.
+//!
+//! These exercise what the paper's chaining evaluation (Figures 4 and 5)
+//! depends on: register-indirect jumps through jump tables, indirect
+//! calls through function-pointer tables, and deep call/return chains.
+
+use crate::common::{regs::*, Workload, XorShift};
+use alpha_isa::{Assembler, Label};
+
+/// Emits a jump-table dispatch: `jmp` through `table[t0 * 8]` (clobbers
+/// `T1`).
+fn jump_table_dispatch(asm: &mut Assembler, table_addr: u64) {
+    asm.li32(T1, table_addr as u32);
+    asm.s8addq(T0, T1, T1);
+    asm.ldq(T1, 0, T1);
+    asm.jmp(alpha_isa::Reg::ZERO, T1);
+}
+
+/// `176.gcc` stand-in: compiler-pass flavor — a token stream driven
+/// through an 8-way jump-table switch of small, branchy basic blocks.
+pub fn gcc(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0x6cc);
+    // Token stream: biased so some cases are hot (realistic switch bias).
+    let tokens: Vec<u8> = (0..2048)
+        .map(|_| {
+            let r = rng.next_u64() % 16;
+            match r {
+                0..=5 => 0u8,
+                6..=9 => 1,
+                10..=11 => 2,
+                12 => 3,
+                13 => 4,
+                14 => 5,
+                _ => 6 + (rng.next_u64() % 2) as u8,
+            }
+        })
+        .collect();
+    let stream = asm.data_block(tokens);
+    let table_block = asm.zero_block(8 * 8);
+
+    let main = asm.label("main");
+    asm.br(main);
+
+    // Helpers called from the hot cases: symbol-table flavor (calls and
+    // returns dominate real compiler control flow).
+    let intern = asm.here("intern");
+    asm.mull_imm(A0, 31, T2);
+    asm.srl_imm(T2, 4, T3);
+    asm.xor(T2, T3, T2);
+    asm.and_imm(T2, 0xff, V0);
+    asm.ret();
+    let fold = asm.here("fold");
+    asm.addq(A0, A0, T2);
+    asm.s8addq(T2, A0, V0);
+    asm.ret();
+
+    // ---- the eight switch cases ----
+    let mut cases: Vec<Label> = Vec::new();
+    let next_tok = asm.label("next_tok");
+    for c in 0..8u8 {
+        let l = asm.here(format!("case{c}"));
+        cases.push(l);
+        match c {
+            0 => {
+                // Identifier: intern it (call + return).
+                asm.sll_imm(V0, 1, A0);
+                asm.xor_imm(A0, 0x21, A0);
+                asm.bsr(intern);
+                asm.addq(V0, S3, V0);
+                asm.mov(V0, S3);
+            }
+            1 => {
+                // Number: fold its value (call + return).
+                asm.addq_imm(V0, 7, A0);
+                asm.bsr(fold);
+                asm.addq(S3, V0, S3);
+            }
+            2 => {
+                // Operator: branchy precedence test.
+                let low = asm.label(format!("low{c}"));
+                asm.and_imm(V0, 3, T2);
+                asm.cmplt_imm(T2, 2, T3);
+                asm.bne(T3, low);
+                asm.addq_imm(V0, 3, V0);
+                asm.bind(low);
+                asm.addq_imm(V0, 1, V0);
+            }
+            3 => {
+                asm.srl_imm(V0, 1, V0);
+                asm.addq_imm(V0, 11, V0);
+            }
+            4 => {
+                asm.xor_imm(V0, 0x5a, V0);
+            }
+            5 => {
+                asm.s8addq(V0, V0, V0);
+            }
+            6 => {
+                asm.subq_imm(V0, 13, V0);
+            }
+            _ => {
+                asm.addq_imm(V0, 1, V0);
+            }
+        }
+        asm.br(next_tok);
+    }
+
+    asm.bind(main);
+    asm.entry_here();
+    asm.lda_imm(S2, scale.min(2000) as i16);
+    asm.clr(S3);
+    let outer = asm.here("outer");
+    asm.li32(S0, stream as u32);
+    asm.lda_imm(S1, 2047);
+    let loop_top = asm.here("loop_top");
+    asm.ldbu(T0, 0, S0);
+    asm.lda(S0, 1, S0);
+    // Per-token bookkeeping before the switch (real scanners do work
+    // between dispatches).
+    asm.sll_imm(S3, 1, T2);
+    asm.xor(S3, T2, S3);
+    asm.addq(S3, T0, S3);
+    jump_table_dispatch(&mut asm, table_block);
+    asm.bind(next_tok);
+    asm.subq_imm(S1, 1, S1);
+    asm.bne(S1, loop_top);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    // Fill the jump table with the case addresses.
+    let mut table = Vec::with_capacity(64);
+    for l in &cases {
+        table.extend_from_slice(&asm.label_addr(*l).expect("case bound").to_le_bytes());
+    }
+    let program = asm
+        .finish()
+        .expect("gcc assembles")
+        .with_data(table_block, table);
+    Workload {
+        name: "gcc",
+        program,
+        budget: 5_000 + (scale as u64) * 60_000,
+    }
+}
+
+/// `253.perlbmk` stand-in: a bytecode interpreter — opcode fetch,
+/// jump-table dispatch, a value stack in memory, and a subroutine opcode
+/// that exercises call/return pairs.
+pub fn perlbmk(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0x9e21);
+    // Bytecode: ops 0=push 1=add 2=dup 3=drop 4=sub 5=call 6=loop-end.
+    let mut code = Vec::new();
+    for _ in 0..200 {
+        match rng.next_u64() % 8 {
+            0 | 1 => {
+                code.push(0u8); // push imm
+                code.push((rng.next_u64() % 100) as u8);
+            }
+            2 => {
+                code.push(2);
+                code.push(5); // interpreters call runtime helpers often
+            }
+            3 => {
+                // Keep the stack from draining: push then drop.
+                code.push(0);
+                code.push(1);
+                code.push(3);
+            }
+            4 => {
+                code.push(0);
+                code.push(5);
+                code.push(4);
+            }
+            5 => code.push(5),
+            _ => {
+                code.push(0);
+                code.push(3);
+                code.push(1);
+            }
+        }
+    }
+    code.push(6); // end
+    let bytecode = asm.data_block(code);
+    let stack = asm.zero_block(16 * 1024);
+    let table_block = asm.zero_block(8 * 8);
+
+    let main = asm.label("main");
+    asm.br(main);
+
+    // helper subroutine for the call opcode
+    let helper = asm.here("helper");
+    asm.ldq(T2, 0, S1); // top of stack
+    asm.s8addq(T2, T2, T2);
+    asm.xor_imm(T2, 0x1f, T2);
+    asm.stq(T2, 0, S1);
+    asm.ret();
+
+    // S0 = bytecode pc, S1 = value-stack pointer (grows up).
+    let dispatch = asm.label("dispatch");
+    let mut cases = Vec::new();
+    // 0: push imm
+    {
+        let l = asm.here("op_push");
+        cases.push(l);
+        asm.ldbu(T2, 0, S0);
+        asm.lda(S0, 1, S0);
+        asm.lda(S1, 8, S1);
+        asm.stq(T2, 0, S1);
+        asm.br(dispatch);
+    }
+    // 1: add
+    {
+        let l = asm.here("op_add");
+        cases.push(l);
+        asm.ldq(T2, 0, S1);
+        asm.lda(S1, -8, S1);
+        asm.ldq(T3, 0, S1);
+        asm.addq(T2, T3, T3);
+        asm.stq(T3, 0, S1);
+        asm.br(dispatch);
+    }
+    // 2: dup
+    {
+        let l = asm.here("op_dup");
+        cases.push(l);
+        asm.ldq(T2, 0, S1);
+        asm.lda(S1, 8, S1);
+        asm.stq(T2, 0, S1);
+        asm.br(dispatch);
+    }
+    // 3: drop
+    {
+        let l = asm.here("op_drop");
+        cases.push(l);
+        asm.ldq(T2, 0, S1);
+        asm.addq(V0, T2, V0); // observe dropped values
+        asm.lda(S1, -8, S1);
+        asm.br(dispatch);
+    }
+    // 4: sub
+    {
+        let l = asm.here("op_sub");
+        cases.push(l);
+        asm.ldq(T2, 0, S1);
+        asm.lda(S1, -8, S1);
+        asm.ldq(T3, 0, S1);
+        asm.subq(T3, T2, T3);
+        asm.stq(T3, 0, S1);
+        asm.br(dispatch);
+    }
+    // 5: call helper
+    {
+        let l = asm.here("op_call");
+        cases.push(l);
+        asm.bsr(helper);
+        asm.br(dispatch);
+    }
+    // 6: end of pass
+    let op_end = asm.here("op_end");
+    cases.push(op_end);
+    {
+        asm.ldq(T2, 0, S1);
+        asm.addq(V0, T2, V0);
+        asm.subq_imm(S2, 1, S2);
+        let done = asm.label("done");
+        asm.beq(S2, done);
+        // Restart the bytecode and reset the value stack (each pass is a
+        // fresh evaluation, as a real interpreter's frame would be).
+        asm.li32(S0, bytecode as u32);
+        asm.li32(S1, stack as u32);
+        asm.lda(S1, 64, S1);
+        asm.br(dispatch);
+        asm.bind(done);
+        asm.halt();
+    }
+    // 7: unused (points at end)
+    cases.push(op_end);
+
+    asm.bind(main);
+    asm.entry_here();
+    asm.lda_imm(S2, scale.min(2000) as i16);
+    asm.li32(S0, bytecode as u32);
+    asm.li32(S1, stack as u32);
+    asm.lda(S1, 64, S1); // headroom below the live stack slot
+    asm.clr(V0);
+    asm.bind(dispatch);
+    asm.ldbu(T0, 0, S0);
+    asm.lda(S0, 1, S0);
+    asm.and_imm(T0, 7, T0); // defensive opcode mask, as interpreters do
+    jump_table_dispatch(&mut asm, table_block);
+
+    let mut table = Vec::with_capacity(64);
+    for l in &cases {
+        table.extend_from_slice(&asm.label_addr(*l).expect("op bound").to_le_bytes());
+    }
+    let program = asm
+        .finish()
+        .expect("perlbmk assembles")
+        .with_data(table_block, table);
+    Workload {
+        name: "perlbmk",
+        program,
+        budget: 10_000 + (scale as u64) * 30_000,
+    }
+}
+
+/// `255.vortex` stand-in: object-database flavor — records manipulated
+/// through a method table (indirect calls), each method touching several
+/// fields, with a nested helper call.
+pub fn vortex(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0x0b7e);
+    // Records: four u64 fields each.
+    let records = asm.data_block(rng.quads(256 * 4, 1 << 24));
+    let mtable_block = asm.zero_block(4 * 8);
+
+    let main = asm.label("main");
+    asm.br(main);
+
+    // Shared helper: field mix.
+    let mix = asm.here("mix");
+    asm.mulq(A1, A1, T4);
+    asm.srl_imm(T4, 7, T4);
+    asm.xor(T4, A1, A1);
+    asm.ret();
+
+    // Methods: a0 = record pointer. Each ends in RET (return targets vary
+    // per call site — the RAS stress the paper cares about).
+    let mut methods = Vec::new();
+    {
+        let m = asm.here("m_get");
+        methods.push(m);
+        asm.ldq(T3, 0, A0);
+        asm.addq(V0, T3, V0);
+        asm.ret();
+    }
+    {
+        let m = asm.here("m_sum");
+        methods.push(m);
+        asm.ldq(T3, 0, A0);
+        asm.ldq(T4, 8, A0);
+        asm.addq(T3, T4, T3);
+        asm.ldq(T4, 16, A0);
+        asm.addq(T3, T4, T3);
+        asm.stq(T3, 24, A0);
+        asm.addq(V0, T3, V0);
+        asm.ret();
+    }
+    {
+        let m = asm.here("m_mix");
+        methods.push(m);
+        // Nested call: save ra in s3 (leaf-save convention).
+        asm.mov(RA, S3);
+        asm.ldq(A1, 8, A0);
+        asm.bsr(mix);
+        asm.stq(A1, 8, A0);
+        asm.addq(V0, A1, V0);
+        asm.mov(S3, RA);
+        asm.ret();
+    }
+    {
+        let m = asm.here("m_touch");
+        methods.push(m);
+        asm.ldq(T3, 24, A0);
+        asm.addq_imm(T3, 1, T3);
+        asm.stq(T3, 24, A0);
+        asm.ret();
+    }
+
+    asm.bind(main);
+    asm.entry_here();
+    asm.lda_imm(S2, scale.min(2000) as i16);
+    let outer = asm.here("outer");
+    asm.li32(S0, records as u32);
+    asm.lda_imm(S1, 256);
+    let top = asm.here("top");
+    // Method index from the record's first field (data-dependent target).
+    asm.ldq(T0, 0, S0);
+    asm.and_imm(T0, 3, T0);
+    asm.li32(T1, mtable_block as u32);
+    asm.s8addq(T0, T1, T1);
+    asm.ldq(PV, 0, T1);
+    asm.mov(S0, A0);
+    asm.jsr(RA, PV);
+    asm.lda(S0, 32, S0);
+    asm.subq_imm(S1, 1, S1);
+    asm.bne(S1, top);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let mut table = Vec::with_capacity(32);
+    for m in &methods {
+        table.extend_from_slice(&asm.label_addr(*m).expect("method bound").to_le_bytes());
+    }
+    let program = asm
+        .finish()
+        .expect("vortex assembles")
+        .with_data(mtable_block, table);
+    Workload {
+        name: "vortex",
+        program,
+        budget: 10_000 + (scale as u64) * 40_000,
+    }
+}
+
+/// `252.eon` stand-in: ray-tracer flavor (C++ in the paper) — a tight
+/// loop of small leaf-function calls doing fixed-point vector arithmetic.
+pub fn eon(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0xe0);
+    let vecs = asm.data_block(rng.quads(512 * 3, 1 << 12));
+
+    let main = asm.label("main");
+    asm.br(main);
+
+    // dot(a0) = v[0]*w0 + v[1]*w1 + v[2]*w2 (fixed weights).
+    let dot = asm.here("dot");
+    asm.ldq(T3, 0, A0);
+    asm.ldq(T4, 8, A0);
+    asm.ldq(T5, 16, A0);
+    asm.mull_imm(T3, 3, T3);
+    asm.mull_imm(T4, 5, T4);
+    asm.mull_imm(T5, 7, T5);
+    asm.addq(T3, T4, T3);
+    asm.addq(T3, T5, V0);
+    asm.ret();
+
+    // norm-ish(a0): shift-scaled accumulate.
+    let norm = asm.here("norm");
+    asm.ldq(T3, 0, A0);
+    asm.ldq(T4, 8, A0);
+    asm.mulq(T3, T3, T3);
+    asm.mulq(T4, T4, T4);
+    asm.addq(T3, T4, T3);
+    asm.srl_imm(T3, 12, V0);
+    asm.ret();
+
+    asm.bind(main);
+    asm.entry_here();
+    asm.lda_imm(S2, scale.min(5000) as i16);
+    let outer = asm.here("outer");
+    asm.li32(S0, vecs as u32);
+    asm.lda_imm(S1, 512);
+    asm.clr(S3);
+    let top = asm.here("top");
+    // Two call sites per function, selected by record parity: returns
+    // alternate between continuation points (single-site software
+    // prediction cannot track this; the dual-address RAS can).
+    let even = asm.label("even");
+    let joined = asm.label("joined");
+    asm.and_imm(S1, 1, T0);
+    asm.beq(T0, even);
+    asm.mov(S0, A0);
+    asm.bsr(dot);
+    asm.addq(S3, V0, S3);
+    asm.mov(S0, A0);
+    asm.bsr(norm);
+    asm.addq(S3, V0, S3);
+    asm.br(joined);
+    asm.bind(even);
+    asm.mov(S0, A0);
+    asm.bsr(norm);
+    asm.s8addq(V0, S3, S3);
+    asm.mov(S0, A0);
+    asm.bsr(dot);
+    asm.addq(S3, V0, S3);
+    asm.bind(joined);
+    asm.lda(S0, 24, S0);
+    asm.subq_imm(S1, 1, S1);
+    asm.bne(S1, top);
+    asm.mov(S3, V0);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm.finish().expect("eon assembles");
+    Workload {
+        name: "eon",
+        program,
+        budget: 5_000 + (scale as u64) * 40_000,
+    }
+}

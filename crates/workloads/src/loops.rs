@@ -1,0 +1,273 @@
+//! Loop-dominated benchmarks: `gzip`, `bzip2`, `crafty`, `gap`.
+
+use crate::common::{regs::*, Workload, XorShift};
+use alpha_isa::{Assembler, Reg};
+
+/// The paper's Figure 2 uses `r0` as the CRC table base.
+const R0: Reg = Reg::V0;
+
+/// `164.gzip` stand-in: table-driven CRC over a byte buffer — including
+/// the exact inner loop of the paper's Figure 2 — plus an LZ-style
+/// match-length scan with data-dependent exits.
+pub fn gzip(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0x6721);
+    let buf_len = 2048usize;
+    let table = asm.zero_block(256 * 8);
+    let buf = asm.data_block(rng.bytes(buf_len));
+
+    // ---- CRC table init: table[i] = (i*2654435761) ^ (i << 7) ----
+    asm.li32(T0, table as u32); // table cursor
+    asm.clr(T1); // i
+    asm.lda_imm(T4, 0x41c6); // multiplier pieces
+    let init = asm.here("crc_init");
+    asm.mulq(T1, T4, T2);
+    asm.sll_imm(T1, 7, T3);
+    asm.xor(T2, T3, T2);
+    asm.stq(T2, 0, T0);
+    asm.lda(T0, 8, T0);
+    asm.addq_imm(T1, 1, T1);
+    asm.cmplt_imm(T1, 255, T2); // 255 to keep the literal in range
+    asm.bne(T2, init);
+
+    // ---- outer repeats ----
+    asm.lda_imm(S2, scale.min(1000) as i16);
+    let outer = asm.here("outer");
+
+    // ---- the Figure 2 CRC loop ----
+    asm.li32(R0, table as u32); // r0 = table base (paper's R0)
+    asm.li32(A0, buf as u32); // r16 = pointer
+    asm.li32(A1, buf_len as u32); // r17 = count
+    asm.clr(T0); // r1 = crc
+    let l1 = asm.here("L1");
+    asm.ldbu(T2, 0, A0); // ldbu r3, 0[r16]
+    asm.subl_imm(A1, 1, A1); // subl r17, 1, r17
+    asm.lda(A0, 1, A0); // lda r16, 1[r16]
+    asm.xor(T0, T2, T2); // xor r1, r3, r3
+    asm.srl_imm(T0, 8, T0); // srl r1, 8, r1
+    asm.and_imm(T2, 0xff, T2); // and r3, 0xff, r3
+    asm.s8addq(T2, R0, T2); // s8addq r3, r0, r3
+    asm.ldq(T2, 0, T2); // ldq r3, 0[r3]
+    asm.xor(T2, T0, T0); // xor r3, r1, r1
+    asm.bne(A1, l1); // bne r17, L1
+    asm.mov(T0, V0); // the crc is the running checksum (r0 doubled as table base)
+
+    // ---- match-length scan: compare buf[i..] against buf[i+stride..],
+    // unrolled by four as -O3 would ----
+    asm.li32(A0, buf as u32);
+    asm.li32(A1, (buf as u32) + 64); // lagged pointer
+    asm.lda_imm(T5, 256);
+    let match_top = asm.here("match_top");
+    for k in 0..4i16 {
+        asm.ldbu(T0, k, A0);
+        asm.ldbu(T1, k, A1);
+        asm.cmpeq(T0, T1, T2);
+        asm.addq(V0, T2, V0); // count matches
+    }
+    asm.lda(A0, 4, A0);
+    asm.lda(A1, 4, A1);
+    asm.subq_imm(T5, 1, T5);
+    asm.bne(T5, match_top);
+
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm.finish().expect("gzip assembles");
+    Workload {
+        name: "gzip",
+        program,
+        budget: 5_000 + (scale as u64) * 60_000,
+    }
+}
+
+/// `256.bzip2` stand-in: byte histogram plus a move-to-front transform —
+/// inner scan loops of data-dependent length and heavy byte stores.
+pub fn bzip2(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0xb217);
+    let buf_len = 1024usize;
+    // Low-entropy input (repeats) so move-to-front hits near the front.
+    let data: Vec<u8> = (0..buf_len).map(|i| (rng.next_u64() % 24) as u8 * ((i % 3) as u8 + 1)).collect();
+    let buf = asm.data_block(data);
+    let hist = asm.zero_block(256 * 8);
+    let mtf: Vec<u8> = (0..=255u8).collect();
+    let mtf_tbl = asm.data_block(mtf);
+
+    asm.lda_imm(S2, scale.min(1000) as i16);
+    let outer = asm.here("outer");
+
+    // ---- histogram ----
+    asm.li32(A0, buf as u32);
+    asm.lda_imm(A1, buf_len as i16);
+    let h_top = asm.here("hist");
+    asm.ldbu(T0, 0, A0);
+    asm.li32(T1, hist as u32);
+    asm.s8addq(T0, T1, T1);
+    asm.ldq(T2, 0, T1);
+    asm.addq_imm(T2, 1, T2);
+    asm.stq(T2, 0, T1);
+    asm.lda(A0, 1, A0);
+    asm.subq_imm(A1, 1, A1);
+    asm.bne(A1, h_top);
+
+    // ---- move-to-front ----
+    asm.li32(A0, buf as u32);
+    asm.lda_imm(A1, buf_len as i16);
+    let m_top = asm.here("mtf_top");
+    asm.ldbu(T0, 0, A0); // symbol
+    asm.li32(T1, mtf_tbl as u32); // scan cursor
+    asm.clr(T3); // position
+    let scan = asm.here("mtf_scan");
+    // Unrolled by two: check two table slots per branch round.
+    let found = asm.label("mtf_found");
+    let found_second = asm.label("mtf_found_second");
+    asm.ldbu(T2, 0, T1);
+    asm.cmpeq(T2, T0, T4);
+    asm.bne(T4, found);
+    asm.ldbu(T2, 1, T1);
+    asm.cmpeq(T2, T0, T4);
+    asm.bne(T4, found_second);
+    asm.lda(T1, 2, T1);
+    asm.addq_imm(T3, 2, T3);
+    asm.br(scan);
+    asm.bind(found_second);
+    asm.addq_imm(T3, 1, T3);
+    asm.bind(found);
+    asm.addq(V0, T3, V0); // emit position as checksum
+    // Shift table entries [0, pos) up by one (back to front), then put
+    // the symbol at the front.
+    asm.li32(T5, mtf_tbl as u32);
+    asm.addq(T5, T3, T5); // cursor at pos
+    let shift = asm.here("mtf_shift");
+    let shift_done = asm.label("mtf_shift_done");
+    asm.beq(T3, shift_done);
+    asm.ldbu(T2, -1, T5);
+    asm.stb(T2, 0, T5);
+    asm.lda(T5, -1, T5);
+    asm.subq_imm(T3, 1, T3);
+    asm.br(shift);
+    asm.bind(shift_done);
+    asm.li32(T5, mtf_tbl as u32);
+    asm.stb(T0, 0, T5);
+    asm.lda(A0, 1, A0);
+    asm.subq_imm(A1, 1, A1);
+    asm.bne(A1, m_top);
+
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm.finish().expect("bzip2 assembles");
+    Workload {
+        name: "bzip2",
+        program,
+        budget: 5_000 + (scale as u64) * 500_000,
+    }
+}
+
+/// `186.crafty` stand-in: 64-bit bitboard manipulation — shifts, masks,
+/// and Kernighan popcounts whose inner loop length is data dependent.
+pub fn crafty(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0xc4af);
+    let boards = asm.data_block(rng.quads(128, u64::MAX));
+
+    asm.lda_imm(S2, scale.min(5000) as i16);
+    let outer = asm.here("outer");
+    asm.li32(A0, boards as u32);
+    asm.lda_imm(A1, 128);
+    let top = asm.here("board_top");
+    asm.ldq(T0, 0, A0); // board
+    // "Attack" generation: shifted copies combined.
+    asm.sll_imm(T0, 8, T1);
+    asm.srl_imm(T0, 8, T2);
+    asm.bis(T1, T2, T1);
+    asm.sll_imm(T0, 1, T2);
+    asm.bis(T1, T2, T1);
+    asm.bic(T1, T0, T1); // exclude own squares
+    // Popcount (Kernighan), unrolled by two: while (x) { x &= x-1; n++ }
+    asm.clr(T3);
+    let pop = asm.here("pop");
+    let pop_done = asm.label("pop_done");
+    asm.beq(T1, pop_done);
+    asm.subq_imm(T1, 1, T2);
+    asm.and(T1, T2, T1);
+    asm.addq_imm(T3, 1, T3);
+    asm.beq(T1, pop_done);
+    asm.subq_imm(T1, 1, T2);
+    asm.and(T1, T2, T1);
+    asm.addq_imm(T3, 1, T3);
+    asm.br(pop);
+    asm.bind(pop_done);
+    asm.addq(V0, T3, V0);
+    // Conditional best-square update with cmov.
+    asm.cmplt(T3, V0, T4);
+    asm.cmovne(T4, T3, T5);
+    asm.addq(V0, T5, V0);
+    asm.lda(A0, 8, A0);
+    asm.subq_imm(A1, 1, A1);
+    asm.bne(A1, top);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm.finish().expect("crafty assembles");
+    Workload {
+        name: "crafty",
+        program,
+        budget: 5_000 + (scale as u64) * 30_000,
+    }
+}
+
+/// `254.gap` stand-in: computer-algebra arithmetic — multiply-heavy
+/// accumulation with `mulq`/`umulh` and a subtractive modular reduction
+/// whose trip count is data dependent.
+pub fn gap(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0x6a9);
+    let nums = asm.data_block(rng.quads(512, 1 << 20));
+
+    asm.lda_imm(S2, scale.min(5000) as i16);
+    let outer = asm.here("outer");
+    asm.li32(A0, nums as u32);
+    asm.lda_imm(A1, 255);
+    asm.lda_imm(S0, 9973); // modulus
+    let top = asm.here("top");
+    // Two independent multiply chains per iteration (unrolled).
+    asm.ldq(T0, 0, A0);
+    asm.ldq(T1, 8, A0);
+    asm.mulq(T0, T1, T2);
+    asm.umulh(T0, T1, T3);
+    asm.xor(T2, T3, T2);
+    asm.srl_imm(T2, 48, T2);
+    asm.ldq(T4, 8, A0);
+    asm.ldq(T5, 16, A0);
+    asm.mulq(T4, T5, T6);
+    asm.umulh(T4, T5, T7);
+    asm.xor(T6, T7, T6);
+    asm.srl_imm(T6, 50, T6);
+    asm.addq(T2, T6, T2);
+    // Subtractive modular reduction (data-dependent trip count).
+    let reduce = asm.here("reduce");
+    let reduced = asm.label("reduced");
+    asm.cmplt(T2, S0, T3);
+    asm.bne(T3, reduced);
+    asm.subq(T2, S0, T2);
+    asm.br(reduce);
+    asm.bind(reduced);
+    asm.addq(V0, T2, V0);
+    asm.lda(A0, 16, A0);
+    asm.subq_imm(A1, 1, A1);
+    asm.bne(A1, top);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm.finish().expect("gap assembles");
+    Workload {
+        name: "gap",
+        program,
+        budget: 5_000 + (scale as u64) * 24_000,
+    }
+}

@@ -1,0 +1,257 @@
+//! Memory-behavior benchmarks: `mcf`, `twolf`, `vpr`, `parser`.
+
+use crate::common::{regs::*, Workload, XorShift};
+use alpha_isa::Assembler;
+
+/// `181.mcf` stand-in: network-simplex-style pointer chasing — a linked
+/// list threaded pseudo-randomly through a large node array (cache
+/// hostile), with a cost comparison on every node.
+pub fn mcf(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0x3cf);
+    // Node: [next: u64][cost: u64]; a random permutation cycle over all
+    // nodes so the chase touches every line in pseudo-random order.
+    let node_count = 4096usize;
+    let mut order: Vec<usize> = (0..node_count).collect();
+    // Fisher-Yates with the deterministic generator.
+    for i in (1..node_count).rev() {
+        let j = (rng.next_u64() as usize) % (i + 1);
+        order.swap(i, j);
+    }
+    let mut nodes = vec![0u8; node_count * 16];
+    // Reserve the block first so its base address is known, then supply
+    // the initialized bytes as a second data segment over the same range.
+    let nodes_base = asm.zero_block(node_count * 16);
+    for k in 0..node_count {
+        let from = order[k];
+        let to = order[(k + 1) % node_count];
+        let next_addr = nodes_base + (to as u64) * 16;
+        nodes[from * 16..from * 16 + 8].copy_from_slice(&next_addr.to_le_bytes());
+        let cost = rng.next_u64() % 1000;
+        nodes[from * 16 + 8..from * 16 + 16].copy_from_slice(&cost.to_le_bytes());
+    }
+    // Re-add as an initialized block at the same address via Program data:
+    // zero_block reserved the range; emit the real bytes over it.
+    let init_block = nodes;
+
+    asm.lda_imm(S2, scale.min(2000) as i16);
+    let outer = asm.here("outer");
+    asm.li32(A0, nodes_base as u32); // current node
+    asm.lda_imm(A1, 1023);
+    asm.clr(S0); // best cost
+    let chase = asm.here("chase");
+    // Four chase steps per branch (unrolled pointer walk).
+    for _ in 0..4 {
+        asm.ldq(T1, 8, A0); // cost
+        asm.ldq(A0, 0, A0); // next (pointer chase)
+        asm.addq(V0, T1, V0);
+        asm.cmplt(T1, S0, T2);
+        asm.cmovne(T2, T1, S0); // best via conditional move
+        asm.addq(V0, T2, V0);
+    }
+    asm.subq_imm(A1, 1, A1);
+    asm.bne(A1, chase);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm
+        .finish()
+        .expect("mcf assembles")
+        .with_data(nodes_base, init_block);
+    Workload {
+        name: "mcf",
+        program,
+        budget: 5_000 + (scale as u64) * 70_000,
+    }
+}
+
+/// `300.twolf` stand-in: simulated-annealing-style random swaps — an
+/// in-assembly xorshift generator drives loads, compares and conditional
+/// stores over a placement array.
+pub fn twolf(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0x2f01);
+    let cells = asm.data_block(rng.quads(1024, 1 << 16));
+
+    asm.lda_imm(S2, scale.min(5000) as i16);
+    asm.lda_imm(S0, 0x7301); // rng state
+    let outer = asm.here("outer");
+    asm.lda_imm(A1, 400); // swaps per pass
+    let top = asm.here("top");
+    // xorshift: s ^= s << 13; s ^= s >> 7; s ^= s << 17
+    asm.sll_imm(S0, 13, T0);
+    asm.xor(S0, T0, S0);
+    asm.srl_imm(S0, 7, T0);
+    asm.xor(S0, T0, S0);
+    asm.sll_imm(S0, 17, T0);
+    asm.xor(S0, T0, S0);
+    // Pick two slots i, j from the state.
+    asm.and_imm(S0, 255, T1); // wait: need 10 bits; combine two bytes
+    asm.srl_imm(S0, 8, T2);
+    asm.and_imm(T2, 255, T2);
+    asm.sll_imm(T1, 2, T1); // i in 0..1024 (256*4)
+    asm.sll_imm(T2, 2, T2);
+    asm.li32(T3, cells as u32);
+    asm.s8addq(T1, T3, T4); // &cells[i]
+    asm.s8addq(T2, T3, T5); // &cells[j]
+    asm.ldq(T6, 0, T4);
+    asm.ldq(T7, 0, T5);
+    // Swap if it "improves" (t6 > t7).
+    let noswap = asm.label("noswap");
+    asm.cmple(T6, T7, T0);
+    asm.bne(T0, noswap);
+    asm.stq(T7, 0, T4);
+    asm.stq(T6, 0, T5);
+    asm.addq_imm(V0, 1, V0); // count accepted swaps
+    asm.bind(noswap);
+    asm.addq(V0, T7, V0);
+    asm.subq_imm(A1, 1, A1);
+    asm.bne(A1, top);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm.finish().expect("twolf assembles");
+    Workload {
+        name: "twolf",
+        program,
+        budget: 5_000 + (scale as u64) * 36_000,
+    }
+}
+
+/// `175.vpr` stand-in: place-and-route cost evaluation — wire-length
+/// deltas over a grid with accept/reject branches and conditional moves.
+pub fn vpr(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0xa17);
+    let grid = asm.data_block(rng.quads(2048, 64));
+
+    asm.lda_imm(S2, scale.min(5000) as i16);
+    let outer = asm.here("outer");
+    asm.li32(A0, grid as u32);
+    asm.lda_imm(A1, 500);
+    asm.clr(S0); // total cost
+    let top = asm.here("top");
+    // Two cost evaluations per iteration (unrolled).
+    asm.ldq(T0, 0, A0);
+    asm.ldq(T1, 8, A0);
+    asm.ldq(T2, 16, A0);
+    asm.ldq(T7, 24, A0);
+    // Manhattan-ish deltas via cmov abs.
+    asm.subq(T0, T1, T3);
+    asm.subq(T1, T0, T4);
+    asm.cmovlt(T3, T4, T3); // |t0 - t1|
+    asm.subq(T1, T2, T5);
+    asm.subq(T2, T1, T6);
+    asm.cmovlt(T5, T6, T5); // |t1 - t2|
+    asm.addq(T3, T5, T3);
+    asm.subq(T2, T7, T5);
+    asm.subq(T7, T2, T6);
+    asm.cmovlt(T5, T6, T5); // |t2 - t7|
+    asm.addq(T3, T5, T3);
+    // Accept if the delta is under a threshold (data-dependent branch).
+    let reject = asm.label("reject");
+    asm.cmplt_imm(T3, 48, T4);
+    asm.beq(T4, reject);
+    asm.addq(S0, T3, S0);
+    asm.bind(reject);
+    asm.lda(A0, 16, A0);
+    asm.subq_imm(A1, 1, A1);
+    asm.bne(A1, top);
+    asm.addq(V0, S0, V0);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm.finish().expect("vpr assembles");
+    Workload {
+        name: "vpr",
+        program,
+        budget: 5_000 + (scale as u64) * 40_000,
+    }
+}
+
+/// `197.parser` stand-in: link-grammar-style tokenizing — byte scanning
+/// with character-class tests and a per-token dictionary-lookup call.
+pub fn parser(scale: u32) -> Workload {
+    let mut asm = Assembler::new(0x1_0000);
+    let mut rng = XorShift::new(0x9a4e);
+    // Text of words over a small alphabet separated by spaces.
+    let mut text = Vec::new();
+    for _ in 0..256 {
+        let len = 1 + (rng.next_u64() % 8) as usize;
+        for _ in 0..len {
+            text.push(b'a' + (rng.next_u64() % 26) as u8);
+        }
+        text.push(b' ');
+    }
+    text.push(0); // terminator
+    let text_len = text.len();
+    let buf = asm.data_block(text);
+    let dict = asm.data_block(rng.quads(256, 1 << 30));
+
+    // Layout: lookup function first (so its label binds before the table
+    // is needed), then main.
+    let lookup = asm.label("lookup");
+    let main = asm.label("main");
+    asm.br(main);
+    asm.bind(lookup);
+    // hash = a0 * 31 mod 256; return dict[hash]
+    asm.mull_imm(A0, 31, T0);
+    asm.and_imm(T0, 255, T0);
+    asm.li32(T1, dict as u32);
+    asm.s8addq(T0, T1, T0);
+    asm.ldq(V0, 0, T0);
+    asm.ret();
+
+    asm.bind(main);
+    asm.entry_here();
+    asm.lda_imm(S2, scale.min(2000) as i16);
+    let outer = asm.here("outer");
+    asm.li32(S0, buf as u32); // cursor
+    asm.clr(S1); // token hash accumulator
+    asm.clr(S3); // checksum
+    let top = asm.here("top");
+    asm.ldbu(T0, 0, S0);
+    asm.lda(S0, 1, S0);
+    let end = asm.label("end");
+    asm.beq(T0, end); // NUL: done
+    // Is it a letter? (t0 >= 'a')
+    let sep = asm.label("sep");
+    asm.cmplt_imm(T0, 97, T1);
+    asm.bne(T1, sep);
+    // Letter: fold into the token hash.
+    asm.sll_imm(S1, 1, S1);
+    asm.addq(S1, T0, S1);
+    asm.br(top);
+    asm.bind(sep);
+    // Separator: look the token up, accumulate, reset. Long tokens use a
+    // second call site (returns then alternate between continuations).
+    let long_tok = asm.label("long_tok");
+    asm.srl_imm(S1, 9, T2);
+    asm.bne(T2, long_tok);
+    asm.mov(S1, A0);
+    asm.bsr(lookup);
+    asm.addq(S3, V0, S3);
+    asm.clr(S1);
+    asm.br(top);
+    asm.bind(long_tok);
+    asm.mov(S1, A0);
+    asm.bsr(lookup);
+    asm.s8addq(V0, S3, S3);
+    asm.clr(S1);
+    asm.br(top);
+    asm.bind(end);
+    asm.mov(S3, V0);
+    asm.subq_imm(S2, 1, S2);
+    asm.bne(S2, outer);
+    asm.halt();
+
+    let program = asm.finish().expect("parser assembles");
+    Workload {
+        name: "parser",
+        program,
+        budget: 5_000 + (scale as u64) * (text_len as u64) * 14,
+    }
+}

@@ -1,0 +1,74 @@
+//! Assemble a guest program from text and run it through the co-designed
+//! VM — the full user workflow: write assembly, translate dynamically,
+//! measure on the ILDP machine.
+//!
+//! ```sh
+//! cargo run --release --example assemble_and_run            # built-in demo
+//! cargo run --release --example assemble_and_run guest.s    # your own file
+//! ```
+
+use alpha_isa::parse_program;
+use ildp_core::{Vm, VmConfig, VmExit};
+use ildp_uarch::{IldpConfig, IldpModel, TimingModel};
+
+const DEMO: &str = "
+; Collatz lengths, summed over the first 300 starting values.
+        li    s0, 300         ; n
+        clr   s1              ; total steps
+outer:  mov   s0, t0
+inner:  cmpeq t0, #1, t1
+        bne   t1, done_one
+        and   t0, #1, t1
+        bne   t1, odd
+        srl   t0, #1, t0      ; even: n/2
+        br    step
+odd:    addq  t0, t0, t2      ; 2n
+        addq  t2, t0, t0      ; 3n
+        addq  t0, #1, t0      ; 3n + 1
+step:   addq  s1, #1, s1
+        br    inner
+done_one:
+        subq  s0, #1, s0
+        bne   s0, outer
+        mov   s1, v0
+        halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => DEMO.to_string(),
+    };
+    let program = parse_program(&source, 0x1_0000)?;
+    println!(
+        "assembled {} instructions, {} data segment(s)",
+        program.code().len(),
+        program.data_segments().len()
+    );
+
+    let mut timing = IldpModel::new(IldpConfig::default());
+    let mut vm = Vm::new(VmConfig::default(), &program);
+    let exit = vm.run(50_000_000, &mut timing);
+    let stats = timing.finish();
+
+    println!("exit        : {exit:?}");
+    if exit == VmExit::Halted {
+        println!("v0 (result) : {}", vm.cpu().read(alpha_isa::Reg::V0));
+    }
+    if !vm.output().is_empty() {
+        println!("output      : {}", String::from_utf8_lossy(vm.output()));
+    }
+    println!(
+        "DBT         : {} fragments, {:.2}x expansion, {:.0} insts/translated-inst overhead",
+        vm.stats().fragments,
+        vm.stats().dynamic_expansion(),
+        vm.stats().overhead_per_translated_inst()
+    );
+    println!(
+        "ILDP timing : {} cycles, V-ISA IPC {:.2} (native {:.2})",
+        stats.cycles,
+        stats.v_ipc(),
+        stats.ipc()
+    );
+    Ok(())
+}

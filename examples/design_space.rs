@@ -1,0 +1,60 @@
+//! Design-space exploration: sweep the ILDP machine's PE count and
+//! communication latency over one workload and print the V-ISA IPC
+//! surface — the kind of study the paper's Figure 9 condenses.
+//!
+//! ```sh
+//! cargo run --release --example design_space [workload] [scale]
+//! ```
+
+use ildp_core::{Translator, Vm, VmConfig};
+use ildp_isa::IsaForm;
+use ildp_uarch::{IldpConfig, IldpModel, TimingModel};
+use spec_workloads::by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gzip".to_string());
+    let scale: u32 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let Some(w) = by_name(&name, scale) else {
+        eprintln!(
+            "unknown workload `{name}`; one of: {}",
+            spec_workloads::NAMES.join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!("workload: {} (scale {scale})\n", w.name);
+    println!("V-ISA IPC          comm=0   comm=1   comm=2   comm=4");
+    for pe_count in [2usize, 4, 6, 8, 12] {
+        print!("{pe_count:>2} PEs         ");
+        for comm in [0u64, 1, 2, 4] {
+            let uarch = IldpConfig {
+                pe_count,
+                comm_latency: comm,
+                ..IldpConfig::default()
+            };
+            let mut timing = IldpModel::new(uarch);
+            let mut vm = Vm::new(
+                VmConfig {
+                    translator: Translator {
+                        form: IsaForm::Modified,
+                        ..Translator::default()
+                    },
+                    ..VmConfig::default()
+                },
+                &w.program,
+            );
+            vm.run(w.budget * 2, &mut timing);
+            print!("   {:>6.3}", timing.finish().v_ipc());
+        }
+        println!();
+    }
+    println!(
+        "\nreading: rows saturate once PE count covers the workload's strand\n\
+         parallelism; the communication-latency cost shrinks when steering\n\
+         keeps dependence chains local (paper §4.5)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: assemble a small Alpha program, run it through the
+//! co-designed VM (dynamic binary translation to the accumulator I-ISA),
+//! and measure V-ISA IPC on the ILDP timing model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use alpha_isa::{Assembler, Reg};
+use ildp_core::{Vm, VmConfig, VmExit};
+use ildp_uarch::{IldpConfig, IldpModel, TimingModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Assemble a guest program: sum an array of 64-bit values.
+    let mut asm = Assembler::new(0x1_0000);
+    let data: Vec<u8> = (0..1024u64).flat_map(|i| (i * 3 + 1).to_le_bytes()).collect();
+    let array = asm.data_block(data);
+
+    asm.lda_imm(Reg::A1, 200); // outer repeats
+    let outer = asm.here("outer");
+    asm.li32(Reg::A0, array as u32);
+    asm.lda_imm(Reg::new(1), 1024); // element count
+    asm.clr(Reg::V0);
+    let top = asm.here("top");
+    asm.ldq(Reg::new(2), 0, Reg::A0);
+    asm.addq(Reg::V0, Reg::new(2), Reg::V0);
+    asm.lda(Reg::A0, 8, Reg::A0);
+    asm.subq_imm(Reg::new(1), 1, Reg::new(1));
+    asm.bne(Reg::new(1), top);
+    asm.subq_imm(Reg::A1, 1, Reg::A1);
+    asm.bne(Reg::A1, outer);
+    asm.halt();
+    let program = asm.finish()?;
+
+    // 2. Run it through the co-designed VM with the ILDP timing model
+    //    attached (defaults: modified I-ISA, software jump prediction +
+    //    dual-address RAS chaining, 4 accumulators, 8 PEs).
+    let mut timing = IldpModel::new(IldpConfig::default());
+    let mut vm = Vm::new(VmConfig::default(), &program);
+    let exit = vm.run(10_000_000, &mut timing);
+    assert_eq!(exit, VmExit::Halted);
+
+    // 3. Inspect the results.
+    let stats = timing.finish();
+    let expected: u64 = (0..1024u64).map(|i| i * 3 + 1).sum();
+    assert_eq!(vm.cpu().read(Reg::V0), expected, "translated code is exact");
+
+    println!("guest result          : {}", vm.cpu().read(Reg::V0));
+    println!("fragments translated  : {}", vm.stats().fragments);
+    println!("interpreted (cold)    : {} instructions", vm.stats().interpreted);
+    println!(
+        "translated (hot)      : {} V-ISA instructions -> {} I-ISA instructions ({:.2}x)",
+        vm.stats().engine.v_insts,
+        vm.stats().engine.executed,
+        vm.stats().dynamic_expansion()
+    );
+    println!(
+        "DBT overhead          : {:.0} Alpha instructions per translated instruction",
+        vm.stats().overhead_per_translated_inst()
+    );
+    println!("V-ISA IPC on ILDP     : {:.2}", stats.v_ipc());
+    println!("native I-ISA IPC      : {:.2}", stats.ipc());
+    Ok(())
+}

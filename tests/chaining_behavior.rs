@@ -1,0 +1,217 @@
+//! Integration tests of fragment-chaining mechanics (paper §3.2): patch
+//! application, dual-RAS hit rates, dispatch frequencies and console
+//! output equivalence across the chaining policies.
+
+use alpha_isa::{run_to_halt, AlignPolicy, Assembler, Program, Reg};
+use ildp_core::{ChainPolicy, NullSink, ProfileConfig, Translator, Vm, VmConfig, VmExit};
+use ildp_isa::IsaForm;
+
+fn vm_config(chain: ChainPolicy) -> VmConfig {
+    VmConfig {
+        translator: Translator {
+            form: IsaForm::Modified,
+            chain,
+            acc_count: 4,
+            fuse_memory: false,
+        },
+        profile: ProfileConfig {
+            threshold: 5,
+            ..ProfileConfig::default()
+        },
+        ..VmConfig::default()
+    }
+}
+
+/// A loop calling two functions alternately — plenty of returns and
+/// cross-fragment exits.
+fn call_program(iters: i16) -> Program {
+    let mut asm = Assembler::new(0x1_0000);
+    let main = asm.label("main");
+    asm.br(main);
+    let f1 = asm.here("f1");
+    asm.addq_imm(Reg::A0, 3, Reg::V0);
+    asm.ret();
+    let f2 = asm.here("f2");
+    asm.s8addq(Reg::A0, Reg::A0, Reg::V0);
+    asm.ret();
+    asm.bind(main);
+    asm.entry_here();
+    asm.lda_imm(Reg::A1, iters);
+    asm.clr(Reg::new(9));
+    let top = asm.here("top");
+    let odd = asm.label("odd");
+    let joined = asm.label("joined");
+    asm.mov(Reg::A1, Reg::A0);
+    asm.and_imm(Reg::A1, 1, Reg::new(1));
+    asm.bne(Reg::new(1), odd);
+    asm.bsr(f1);
+    asm.br(joined);
+    asm.bind(odd);
+    asm.bsr(f2);
+    asm.bind(joined);
+    asm.addq(Reg::new(9), Reg::V0, Reg::new(9));
+    asm.subq_imm(Reg::A1, 1, Reg::A1);
+    asm.bne(Reg::A1, top);
+    asm.mov(Reg::new(9), Reg::V0);
+    asm.halt();
+    asm.finish().unwrap()
+}
+
+#[test]
+fn patching_links_hot_fragments() {
+    let program = call_program(500);
+    let mut vm = Vm::new(vm_config(ChainPolicy::SwPredDualRas), &program);
+    let exit = vm.run(100_000, &mut NullSink);
+    assert_eq!(exit, VmExit::Halted);
+    // Exits between the loop body, both functions and the join point get
+    // patched into direct branches once their targets are translated.
+    assert!(
+        vm.cache().patches_applied() >= 3,
+        "only {} patches",
+        vm.cache().patches_applied()
+    );
+    // Once chained, control flows fragment-to-fragment without the
+    // translator: far more fragment entries than fragments.
+    let entries: u64 = vm.cache().fragments().iter().map(|f| f.entries).sum();
+    assert!(entries > 500, "only {entries} fragment entries");
+}
+
+#[test]
+fn dual_ras_predicts_almost_all_returns() {
+    let program = call_program(500);
+    let mut vm = Vm::new(vm_config(ChainPolicy::SwPredDualRas), &program);
+    vm.run(100_000, &mut NullSink);
+    let s = &vm.stats().engine;
+    let total = s.ras_hits + s.ras_misses;
+    assert!(total > 400, "returns must run translated: {total}");
+    let hit_rate = s.ras_hits as f64 / total as f64;
+    assert!(
+        hit_rate > 0.95,
+        "dual-RAS hit rate {hit_rate:.3} ({} / {total})",
+        s.ras_hits
+    );
+}
+
+#[test]
+fn no_pred_dispatches_every_indirect_transfer() {
+    let program = call_program(500);
+    let mut no_pred = Vm::new(vm_config(ChainPolicy::NoPred), &program);
+    no_pred.run(100_000, &mut NullSink);
+    let mut ras = Vm::new(vm_config(ChainPolicy::SwPredDualRas), &program);
+    ras.run(100_000, &mut NullSink);
+    assert!(
+        no_pred.stats().engine.dispatches > ras.stats().engine.dispatches * 5,
+        "no_pred {} vs ras {} dispatches",
+        no_pred.stats().engine.dispatches,
+        ras.stats().engine.dispatches
+    );
+    // Same architecture regardless.
+    assert_eq!(no_pred.cpu().registers(), ras.cpu().registers());
+}
+
+#[test]
+fn console_output_is_preserved_by_translation() {
+    // Print the alphabet from translated code.
+    let mut asm = Assembler::new(0x1_0000);
+    asm.lda_imm(Reg::A1, 26 * 8); // repeats to get the loop hot
+    asm.clr(Reg::new(9));
+    let top = asm.here("top");
+    asm.and_imm(Reg::new(9), 31, Reg::A0);
+    let skip = asm.label("skip");
+    asm.cmplt_imm(Reg::A0, 26, Reg::new(1));
+    asm.beq(Reg::new(1), skip);
+    asm.addq_imm(Reg::A0, 97, Reg::A0); // 'a' + i
+    asm.putchar();
+    asm.bind(skip);
+    asm.addq_imm(Reg::new(9), 1, Reg::new(9));
+    asm.subq_imm(Reg::A1, 1, Reg::A1);
+    asm.bne(Reg::A1, top);
+    asm.halt();
+    let program = asm.finish().unwrap();
+
+    // Reference output: interpret and collect bytes by stepping manually.
+    let (mut cpu, mut mem) = program.load();
+    let mut expected = Vec::new();
+    loop {
+        let inst = program.fetch(cpu.pc).unwrap();
+        let out = alpha_isa::step(&mut cpu, &mut mem, inst, AlignPolicy::Enforce).unwrap();
+        if let Some(b) = out.output {
+            expected.push(b);
+        }
+        if out.control == alpha_isa::Control::Halt {
+            break;
+        }
+    }
+    assert!(expected.len() > 100);
+
+    for form in [IsaForm::Basic, IsaForm::Modified] {
+        let mut config = vm_config(ChainPolicy::SwPredDualRas);
+        config.translator.form = form;
+        let mut vm = Vm::new(config, &program);
+        let exit = vm.run(100_000, &mut NullSink);
+        assert_eq!(exit, VmExit::Halted, "{form:?}");
+        assert!(
+            vm.stats().engine.v_insts > 500,
+            "{form:?}: output must come from translated code"
+        );
+        assert_eq!(vm.output(), &expected[..], "{form:?} output diverged");
+    }
+}
+
+#[test]
+fn straightened_and_original_agree_on_checksum() {
+    let program = call_program(300);
+    let (mut rcpu, mut rmem) = program.load();
+    run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000).unwrap();
+    for chain in [
+        ChainPolicy::NoPred,
+        ChainPolicy::SwPred,
+        ChainPolicy::SwPredDualRas,
+    ] {
+        let mut vm = ildp_core::StraightenedVm::new(
+            chain,
+            ProfileConfig {
+                threshold: 5,
+                ..ProfileConfig::default()
+            },
+            &program,
+        );
+        let exit = vm.run(100_000, &mut NullSink);
+        assert_eq!(exit, VmExit::Halted, "{chain:?}");
+        assert_eq!(vm.cpu().registers(), rcpu.registers(), "{chain:?}");
+    }
+}
+
+#[test]
+fn jump_through_zero_register_does_not_panic_the_translator() {
+    // Degenerate guest: a hot loop ending in `jmp (r31)` — the target is
+    // the constant 0. The translator must lower it to dispatch code (the
+    // operand is an immediate, not a GPR) and the VM must deliver the
+    // same access-violation trap the interpreter does.
+    let mut asm = Assembler::new(0x1_0000);
+    asm.lda_imm(Reg::A0, 100);
+    let top = asm.here("top");
+    asm.addq_imm(Reg::V0, 1, Reg::V0);
+    asm.subq_imm(Reg::A0, 1, Reg::A0);
+    asm.bne(Reg::A0, top);
+    asm.jmp(Reg::ZERO, Reg::ZERO); // pc <- 0
+    let program = asm.finish().unwrap();
+
+    let (mut rcpu, mut rmem) = program.load();
+    let err = run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 10_000)
+        .expect_err("jumping to 0 must trap");
+    let alpha_isa::RunError::Trapped { trap, .. } = err else {
+        panic!("{err}")
+    };
+
+    for chain in [ChainPolicy::NoPred, ChainPolicy::SwPred, ChainPolicy::SwPredDualRas] {
+        let mut vm = Vm::new(vm_config(chain), &program);
+        let exit = vm.run(10_000, &mut NullSink);
+        let VmExit::Trapped { vaddr, trap: t, .. } = exit else {
+            panic!("{chain:?}: expected trap, got {exit:?}")
+        };
+        assert_eq!(vaddr, 0, "{chain:?}");
+        assert_eq!(t, trap, "{chain:?}");
+        assert_eq!(vm.cpu().read(Reg::V0), rcpu.read(Reg::V0), "{chain:?}");
+    }
+}

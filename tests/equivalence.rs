@@ -1,0 +1,124 @@
+//! The fundamental DBT correctness invariant, across the whole suite:
+//! translated execution must compute exactly the architected state that
+//! pure interpretation computes — for both I-ISA forms, every chaining
+//! policy, and the code-straightening-only system.
+
+use alpha_isa::{run_to_halt, AlignPolicy};
+use ildp_core::{
+    ChainPolicy, NullSink, ProfileConfig, StraightenedVm, Translator, Vm, VmConfig, VmExit,
+};
+use ildp_isa::IsaForm;
+use spec_workloads::{suite, Workload};
+
+fn reference_registers(w: &Workload) -> [u64; 32] {
+    let (mut cpu, mut mem) = w.program.load();
+    run_to_halt(&mut cpu, &mut mem, &w.program, AlignPolicy::Enforce, w.budget)
+        .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", w.name));
+    cpu.registers()
+}
+
+fn vm_config(form: IsaForm, chain: ChainPolicy) -> VmConfig {
+    VmConfig {
+        translator: Translator {
+            form,
+            chain,
+            acc_count: 4,
+        fuse_memory: false,
+    },
+        // A low threshold so even short test runs spend most instructions
+        // in translated code.
+        profile: ProfileConfig {
+            threshold: 10,
+            ..ProfileConfig::default()
+        },
+        ..VmConfig::default()
+    }
+}
+
+fn check_form_chain(form: IsaForm, chain: ChainPolicy) {
+    for w in suite(1) {
+        let expect = reference_registers(&w);
+        let mut vm = Vm::new(vm_config(form, chain), &w.program);
+        let exit = vm.run(w.budget * 2, &mut NullSink);
+        assert_eq!(exit, VmExit::Halted, "{} ({form:?}, {chain:?})", w.name);
+        assert!(
+            vm.stats().fragments > 0,
+            "{}: nothing was translated",
+            w.name
+        );
+        assert_eq!(
+            vm.cpu().registers(),
+            expect,
+            "{} diverged under ({form:?}, {chain:?})",
+            w.name
+        );
+        // Most hot-path work must actually run translated.
+        let translated_share = vm.stats().engine.v_insts as f64
+            / (vm.stats().engine.v_insts + vm.stats().interpreted) as f64;
+        assert!(
+            translated_share > 0.5,
+            "{}: only {:.0}% of instructions ran translated",
+            w.name,
+            translated_share * 100.0
+        );
+    }
+}
+
+#[test]
+fn modified_dual_ras_matches_interpreter() {
+    check_form_chain(IsaForm::Modified, ChainPolicy::SwPredDualRas);
+}
+
+#[test]
+fn basic_dual_ras_matches_interpreter() {
+    check_form_chain(IsaForm::Basic, ChainPolicy::SwPredDualRas);
+}
+
+#[test]
+fn modified_sw_pred_matches_interpreter() {
+    check_form_chain(IsaForm::Modified, ChainPolicy::SwPred);
+}
+
+#[test]
+fn basic_no_pred_matches_interpreter() {
+    check_form_chain(IsaForm::Basic, ChainPolicy::NoPred);
+}
+
+#[test]
+fn eight_accumulators_match_interpreter() {
+    for w in suite(1) {
+        let expect = reference_registers(&w);
+        let mut config = vm_config(IsaForm::Modified, ChainPolicy::SwPredDualRas);
+        config.translator.acc_count = 8;
+        let mut vm = Vm::new(config, &w.program);
+        let exit = vm.run(w.budget * 2, &mut NullSink);
+        assert_eq!(exit, VmExit::Halted, "{} with 8 accumulators", w.name);
+        assert_eq!(vm.cpu().registers(), expect, "{} with 8 accumulators", w.name);
+    }
+}
+
+#[test]
+fn straightened_code_matches_interpreter() {
+    for chain in [
+        ChainPolicy::NoPred,
+        ChainPolicy::SwPred,
+        ChainPolicy::SwPredDualRas,
+    ] {
+        for w in suite(1) {
+            let expect = reference_registers(&w);
+            let profile = ProfileConfig {
+                threshold: 10,
+                ..ProfileConfig::default()
+            };
+            let mut vm = StraightenedVm::new(chain, profile, &w.program);
+            let exit = vm.run(w.budget * 2, &mut NullSink);
+            assert_eq!(exit, VmExit::Halted, "{} straightened ({chain:?})", w.name);
+            assert_eq!(
+                vm.cpu().registers(),
+                expect,
+                "{} straightened diverged ({chain:?})",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests on the timing models: invariants that must hold for
+//! any retired-instruction stream, however adversarial.
+
+use ildp_uarch::{
+    DynInst, IldpConfig, IldpModel, InstClass, SuperscalarConfig, SuperscalarModel, TimingModel,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    kind: u8,
+    src: u8,
+    dst: u8,
+    acc: u8,
+    new_strand: bool,
+    addr_page: u8,
+    taken: bool,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (
+        0u8..6,
+        any::<u8>(),
+        any::<u8>(),
+        0u8..4,
+        any::<bool>(),
+        any::<u8>(),
+        any::<bool>(),
+    )
+        .prop_map(|(kind, src, dst, acc, new_strand, addr_page, taken)| Step {
+            kind,
+            src,
+            dst,
+            acc,
+            new_strand,
+            addr_page,
+            taken,
+        })
+}
+
+/// Builds a structurally valid trace from the step descriptors.
+fn trace(steps: &[Step]) -> Vec<DynInst> {
+    let mut out = Vec::with_capacity(steps.len());
+    let mut pc = 0x1_0000u64;
+    for s in steps {
+        let mut d = DynInst::alu(pc, 4);
+        d.srcs[0] = Some(s.src % 32);
+        d.dst = Some(s.dst % 32);
+        d.acc = Some(s.acc);
+        d.acc_read = !s.new_strand;
+        d.acc_write = true;
+        match s.kind {
+            0 | 1 => {} // alu
+            2 => {
+                d.class = InstClass::Load;
+                d.mem_addr = Some(0x100_0000 + (s.addr_page as u64) * 4096);
+            }
+            3 => {
+                d.class = InstClass::Store;
+                d.mem_addr = Some(0x100_0000 + (s.addr_page as u64) * 4096);
+            }
+            4 => {
+                d.class = InstClass::CondBranch;
+                d.taken = s.taken;
+                d.next_pc = if s.taken { 0x1_0000 } else { pc + 4 };
+            }
+            _ => d.class = InstClass::IntMul,
+        }
+        let next = d.next_pc;
+        out.push(d);
+        pc = if next == 0x1_0000 { 0x1_0000 } else { pc + 4 };
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Retired-instruction conservation and the IPC bandwidth bound.
+    #[test]
+    fn superscalar_invariants(steps in prop::collection::vec(step(), 1..400)) {
+        let t = trace(&steps);
+        let config = SuperscalarConfig::default();
+        let width = config.width as f64;
+        let mut m = SuperscalarModel::new(config);
+        for d in &t {
+            m.retire(d);
+        }
+        let stats = m.finish();
+        prop_assert_eq!(stats.instructions, t.len() as u64);
+        prop_assert!(stats.cycles >= 1);
+        prop_assert!(stats.ipc() <= width + 1e-9, "ipc {}", stats.ipc());
+        prop_assert!(stats.total_mispredicts() <= stats.cond_branches
+            + t.iter().filter(|d| d.class.is_indirect()).count() as u64);
+    }
+
+    /// The ILDP machine obeys the same bounds, and adding communication
+    /// latency never makes execution *substantially* faster. (Strict
+    /// monotonicity does not hold: the dependence-aware steering makes
+    /// different placement decisions per latency, and a heuristic
+    /// placement can get lucky — so the bound allows a small tolerance.)
+    #[test]
+    fn ildp_invariants_and_comm_near_monotonicity(steps in prop::collection::vec(step(), 1..400)) {
+        let t = trace(&steps);
+        let mut cycles = Vec::new();
+        for comm in [0u64, 2, 8] {
+            let config = IldpConfig { comm_latency: comm, ..IldpConfig::default() };
+            let width = config.width as f64;
+            let mut m = IldpModel::new(config);
+            for d in &t {
+                m.retire(d);
+            }
+            let stats = m.finish();
+            prop_assert_eq!(stats.instructions, t.len() as u64);
+            prop_assert!(stats.ipc() <= width + 1e-9);
+            cycles.push(stats.cycles);
+        }
+        let slack = |c: u64| c + c / 4 + 64;
+        prop_assert!(cycles[0] <= slack(cycles[1]), "comm 0 {} vs 2 {}", cycles[0], cycles[1]);
+        prop_assert!(cycles[1] <= slack(cycles[2]), "comm 2 {} vs 8 {}", cycles[1], cycles[2]);
+    }
+
+    /// More processing elements never slow the machine down substantially
+    /// (same heuristic-steering tolerance as above).
+    #[test]
+    fn ildp_pe_count_near_monotonicity(steps in prop::collection::vec(step(), 1..300)) {
+        let t = trace(&steps);
+        let mut cycles = Vec::new();
+        for pe in [2usize, 4, 8] {
+            let mut m = IldpModel::new(IldpConfig { pe_count: pe, ..IldpConfig::default() });
+            for d in &t {
+                m.retire(d);
+            }
+            cycles.push(m.finish().cycles);
+        }
+        let slack = |c: u64| c + c / 4 + 64;
+        prop_assert!(cycles[1] <= slack(cycles[0]), "2PE {} vs 4PE {}", cycles[0], cycles[1]);
+        prop_assert!(cycles[2] <= slack(cycles[1]), "4PE {} vs 8PE {}", cycles[1], cycles[2]);
+    }
+
+    /// Slower memory never speeds things up.
+    #[test]
+    fn superscalar_memory_latency_monotonicity(steps in prop::collection::vec(step(), 1..300)) {
+        let t = trace(&steps);
+        let mut cycles = Vec::new();
+        for mem_latency in [20u64, 72, 300] {
+            let mut config = SuperscalarConfig::default();
+            config.latencies.memory = mem_latency;
+            let mut m = SuperscalarModel::new(config);
+            for d in &t {
+                m.retire(d);
+            }
+            cycles.push(m.finish().cycles);
+        }
+        prop_assert!(cycles[0] <= cycles[1]);
+        prop_assert!(cycles[1] <= cycles[2]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Precise-trap recovery, exercised systematically (paper §2.2).
+//!
+//! Parameterized programs raise traps (`gentrap`, and data-dependent
+//! misaligned loads) at chosen iteration depths — before translation,
+//! right at the translation threshold, and deep inside hot translated
+//! code. In every case the DBT must deliver the same faulting V-PC, the
+//! same trap condition, and bit-identical architected registers as pure
+//! interpretation — under both I-ISA forms, three body shapes chosen to
+//! stress different value categories, and reduced accumulator counts
+//! (which force premature strand terminations).
+
+use alpha_isa::{run_to_halt, AlignPolicy, Assembler, Program, Reg, RunError};
+use ildp_core::{ChainPolicy, NullSink, ProfileConfig, Translator, Vm, VmConfig, VmExit};
+use ildp_isa::IsaForm;
+
+/// A loop whose body stresses strand formation (long and short chains,
+/// loads, stores) and raises `gentrap` on iteration `trap_at`.
+fn trapping_program(trap_at: i16, body_variant: u8) -> Program {
+    let mut asm = Assembler::new(0x1_0000);
+    let arena = asm.zero_block(4096);
+    asm.li32(Reg::new(11), arena as u32);
+    asm.clr(Reg::A1); // i
+    asm.clr(Reg::V0);
+    let top = asm.here("top");
+    // Body: variant-dependent mix so different value categories arise.
+    match body_variant {
+        0 => {
+            // Long single strand (gzip-like).
+            asm.ldq(Reg::new(1), 0, Reg::new(11));
+            asm.xor(Reg::V0, Reg::new(1), Reg::new(1));
+            asm.srl_imm(Reg::new(1), 3, Reg::new(1));
+            asm.and_imm(Reg::new(1), 0x7f, Reg::new(1));
+            asm.s8addq(Reg::new(1), Reg::new(11), Reg::new(2));
+            asm.ldq(Reg::new(3), 0, Reg::new(2));
+            asm.addq(Reg::V0, Reg::new(3), Reg::V0);
+            asm.stq(Reg::V0, 8, Reg::new(11));
+        }
+        1 => {
+            // Many short strands (wide ILP).
+            asm.addq_imm(Reg::A1, 3, Reg::new(1));
+            asm.sll_imm(Reg::A1, 2, Reg::new(2));
+            asm.subq(Reg::new(1), Reg::new(2), Reg::new(3));
+            asm.mull_imm(Reg::A1, 7, Reg::new(4));
+            asm.xor(Reg::new(3), Reg::new(4), Reg::new(5));
+            asm.addq(Reg::V0, Reg::new(5), Reg::V0);
+        }
+        _ => {
+            // Stores + cmovs (merging writes near the PEI).
+            asm.and_imm(Reg::A1, 63, Reg::new(1));
+            asm.s8addq(Reg::new(1), Reg::new(11), Reg::new(1));
+            asm.cmplt_imm(Reg::A1, 100, Reg::new(2));
+            asm.cmovne(Reg::new(2), Reg::A1, Reg::new(3));
+            asm.stq(Reg::new(3), 0, Reg::new(1));
+            asm.ldq(Reg::new(4), 0, Reg::new(1));
+            asm.addq(Reg::V0, Reg::new(4), Reg::V0);
+        }
+    }
+    // Trap trigger: gentrap when i == trap_at (a0 carries the code).
+    let no_trap = asm.label("no_trap");
+    asm.cmpeq_imm(Reg::A1, trap_at.max(0) as u8, Reg::new(7));
+    asm.beq(Reg::new(7), no_trap);
+    asm.mov(Reg::V0, Reg::A0);
+    asm.gentrap();
+    asm.bind(no_trap);
+    asm.addq_imm(Reg::A1, 1, Reg::A1);
+    asm.cmplt_imm(Reg::A1, 120, Reg::new(7));
+    asm.bne(Reg::new(7), top);
+    asm.halt();
+    asm.finish().expect("trapping program assembles")
+}
+
+fn check_trap(trap_at: i16, variant: u8, form: IsaForm, acc_count: usize) {
+    let program = trapping_program(trap_at, variant);
+    let (mut rcpu, mut rmem) = program.load();
+    let err = run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000)
+        .expect_err("the program must trap");
+    let RunError::Trapped {
+        pc: ref_pc,
+        trap: ref_trap,
+    } = err
+    else {
+        panic!("expected a trap, got {err}")
+    };
+
+    let config = VmConfig {
+        translator: Translator {
+            form,
+            chain: ChainPolicy::SwPredDualRas,
+            acc_count,
+            fuse_memory: false,
+        },
+        profile: ProfileConfig {
+            threshold: 3,
+            ..ProfileConfig::default()
+        },
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::new(config, &program);
+    let exit = vm.run(100_000, &mut NullSink);
+    let VmExit::Trapped { vaddr, trap, state } = exit else {
+        panic!("({form:?}, {acc_count} accs, variant {variant}): expected trap, got {exit:?}")
+    };
+    assert_eq!(
+        vaddr, ref_pc,
+        "({form:?}, variant {variant}, trap_at {trap_at}): V-PC"
+    );
+    assert_eq!(
+        trap, ref_trap,
+        "({form:?}, variant {variant}, trap_at {trap_at}): condition"
+    );
+    assert_eq!(
+        state.as_ref(),
+        &rcpu.registers(),
+        "({form:?}, variant {variant}, trap_at {trap_at}): architected state"
+    );
+    if trap_at > 20 {
+        assert!(
+            vm.stats().engine.v_insts > 50,
+            "late traps must fire inside translated code \
+             ({form:?}, variant {variant}, trap_at {trap_at})"
+        );
+    }
+}
+
+#[test]
+fn traps_recover_exactly_in_basic_form() {
+    for variant in 0..3u8 {
+        for trap_at in [0i16, 1, 7, 40, 100] {
+            check_trap(trap_at, variant, IsaForm::Basic, 4);
+        }
+    }
+}
+
+#[test]
+fn traps_recover_exactly_in_modified_form() {
+    for variant in 0..3u8 {
+        for trap_at in [0i16, 1, 7, 40, 100] {
+            check_trap(trap_at, variant, IsaForm::Modified, 4);
+        }
+    }
+}
+
+#[test]
+fn traps_recover_under_accumulator_pressure() {
+    // Two accumulators force premature strand terminations; recovery must
+    // still be exact.
+    for variant in 0..3u8 {
+        for trap_at in [7i16, 40] {
+            check_trap(trap_at, variant, IsaForm::Basic, 2);
+            check_trap(trap_at, variant, IsaForm::Modified, 2);
+        }
+    }
+}
+
+#[test]
+fn unaligned_traps_recover_in_all_workload_like_shapes() {
+    // Misaligned loads at a data-dependent iteration, both forms.
+    for form in [IsaForm::Basic, IsaForm::Modified] {
+        let mut asm = Assembler::new(0x1_0000);
+        let arena = asm.zero_block(8192);
+        asm.li32(Reg::new(11), arena as u32);
+        asm.clr(Reg::A1);
+        asm.clr(Reg::V0);
+        let top = asm.here("top");
+        asm.s8addq(Reg::A1, Reg::new(11), Reg::new(1));
+        asm.cmpeq_imm(Reg::A1, 77, Reg::new(2));
+        asm.addq(Reg::new(1), Reg::new(2), Reg::new(1)); // +1 byte on iter 77
+        asm.ldq(Reg::new(3), 0, Reg::new(1));
+        asm.addq(Reg::V0, Reg::new(3), Reg::V0);
+        asm.addq_imm(Reg::A1, 1, Reg::A1);
+        asm.cmplt_imm(Reg::A1, 200, Reg::new(2));
+        asm.bne(Reg::new(2), top);
+        asm.halt();
+        let program = asm.finish().unwrap();
+
+        let (mut rcpu, mut rmem) = program.load();
+        let err = run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000)
+            .expect_err("must trap at iteration 77");
+        let RunError::Trapped { pc, trap } = err else {
+            panic!("{err}")
+        };
+
+        let config = VmConfig {
+            translator: Translator {
+                form,
+                chain: ChainPolicy::SwPredDualRas,
+                acc_count: 4,
+                fuse_memory: false,
+            },
+            profile: ProfileConfig {
+                threshold: 3,
+                ..ProfileConfig::default()
+            },
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(config, &program);
+        let VmExit::Trapped { vaddr, trap: t, state } = vm.run(100_000, &mut NullSink) else {
+            panic!("{form:?}: expected trap")
+        };
+        assert_eq!((vaddr, t), (pc, trap), "{form:?}");
+        assert_eq!(state.as_ref(), &rcpu.registers(), "{form:?}");
+        assert!(vm.stats().engine.v_insts > 100, "{form:?}: trap ran translated");
+    }
+}

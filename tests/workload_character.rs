@@ -1,0 +1,99 @@
+//! Characterization tests: the figures' shapes depend on each synthetic
+//! workload exhibiting the control-flow character of its SPEC namesake
+//! (DESIGN.md §3). These pin those properties so a workload edit that
+//! would silently invalidate the figures fails loudly here.
+
+use alpha_isa::{run_to_halt, AlignPolicy, RunStats};
+use spec_workloads::by_name;
+
+fn stats(name: &str) -> RunStats {
+    let w = by_name(name, 1).unwrap();
+    let (mut cpu, mut mem) = w.program.load();
+    run_to_halt(&mut cpu, &mut mem, &w.program, AlignPolicy::Enforce, w.budget)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn rate(n: u64, d: u64) -> f64 {
+    n as f64 / d.max(1) as f64
+}
+
+#[test]
+fn indirect_heavy_benchmarks_stay_indirect_heavy() {
+    // gcc/perlbmk drive Figures 4 and 5: they must keep a high
+    // register-indirect jump rate (jump tables, bytecode dispatch).
+    for name in ["gcc", "perlbmk"] {
+        let s = stats(name);
+        let r = rate(s.indirect_jumps, s.instructions);
+        assert!(
+            r > 0.02,
+            "{name}: indirect rate {r:.4} too low for a dispatch-heavy benchmark"
+        );
+    }
+}
+
+#[test]
+fn call_heavy_benchmarks_keep_their_returns() {
+    // eon/vortex/parser supply the returns that make the dual-address RAS
+    // matter (Figure 4's sw_pred.ras vs no_pred gap).
+    for name in ["eon", "vortex", "parser"] {
+        let s = stats(name);
+        let r = rate(s.indirect_jumps, s.instructions);
+        assert!(
+            r > 0.01,
+            "{name}: return rate {r:.4} too low for a call-heavy benchmark"
+        );
+    }
+}
+
+#[test]
+fn loop_benchmarks_have_no_indirect_jumps() {
+    // gzip/mcf/gap/twolf/vpr anchor Figure 5's ≈1.00 rows: straightening
+    // must not find indirect jumps to chain.
+    for name in ["gzip", "mcf", "gap", "twolf", "vpr"] {
+        let s = stats(name);
+        assert_eq!(
+            s.indirect_jumps, 0,
+            "{name} must stay free of indirect jumps"
+        );
+    }
+}
+
+#[test]
+fn memory_benchmarks_actually_load() {
+    for (name, min_rate) in [("mcf", 0.25), ("bzip2", 0.15), ("gzip", 0.10)] {
+        let s = stats(name);
+        let r = rate(s.loads, s.instructions);
+        assert!(r > min_rate, "{name}: load rate {r:.3} below {min_rate}");
+    }
+}
+
+#[test]
+fn branchy_benchmarks_have_unbiased_branches() {
+    // twolf/vpr feed the misprediction rows of Figure 4: their
+    // conditional branches must not be near-100% taken.
+    for name in ["twolf", "vpr"] {
+        let s = stats(name);
+        let taken = rate(s.taken_branches, s.cond_branches);
+        assert!(
+            (0.05..0.95).contains(&taken),
+            "{name}: taken rate {taken:.3} is too biased to stress the predictor"
+        );
+    }
+}
+
+#[test]
+fn suite_spans_an_instruction_count_range() {
+    // The paper's benchmarks vary in size; ours must too (the overhead
+    // column of Table 2 depends on it).
+    let sizes: Vec<u64> = spec_workloads::NAMES
+        .iter()
+        .map(|n| stats(n).instructions)
+        .collect();
+    let min = *sizes.iter().min().unwrap();
+    let max = *sizes.iter().max().unwrap();
+    assert!(min > 3_000, "smallest workload too small: {min}");
+    assert!(
+        max > min * 3,
+        "suite sizes too uniform: {min}..{max} ({sizes:?})"
+    );
+}
