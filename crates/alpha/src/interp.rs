@@ -5,7 +5,67 @@
 //! interpreter computes.
 
 use crate::exec::{step, AlignPolicy, Control};
-use crate::{CpuState, Memory, Program, Trap};
+use crate::{decode, CpuState, Inst, Memory, Program, Trap};
+
+/// An eagerly predecoded code segment: every static instruction is decoded
+/// exactly once, and fetch becomes a bounds check plus an array index
+/// instead of a per-step decode.
+///
+/// [`DecodeCache::fetch`] reproduces [`Program::fetch`] exactly, including
+/// its trap semantics — [`Trap::AccessViolation`] for a PC outside (or
+/// misaligned within) the code segment, [`Trap::IllegalInstruction`] for an
+/// undecodable word — so interpreters can swap it in without behavioral
+/// change.
+///
+/// # Examples
+///
+/// ```
+/// use alpha_isa::{Assembler, DecodeCache, Reg};
+/// let mut asm = Assembler::new(0x1000);
+/// asm.lda_imm(Reg::V0, 5);
+/// asm.halt();
+/// let program = asm.finish()?;
+/// let cache = DecodeCache::new(&program);
+/// assert_eq!(cache.fetch(0x1000), program.fetch(0x1000));
+/// assert!(cache.fetch(0x2000).is_err());
+/// # Ok::<(), alpha_isa::AsmError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecodeCache {
+    base: u64,
+    end: u64,
+    insts: Vec<Result<Inst, Trap>>,
+}
+
+impl DecodeCache {
+    /// Predecodes the whole code segment of `program`.
+    pub fn new(program: &Program) -> DecodeCache {
+        let insts = program
+            .code()
+            .iter()
+            .map(|&word| decode(word).ok_or(Trap::IllegalInstruction { word }))
+            .collect();
+        DecodeCache {
+            base: program.code_base(),
+            end: program.code_end(),
+            insts,
+        }
+    }
+
+    /// Fetches the predecoded instruction at `pc` (see the type docs for
+    /// the trap semantics).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Program::fetch`].
+    #[inline]
+    pub fn fetch(&self, pc: u64) -> Result<Inst, Trap> {
+        if pc % 4 != 0 || pc < self.base || pc >= self.end {
+            return Err(Trap::AccessViolation { addr: pc });
+        }
+        self.insts[((pc - self.base) / 4) as usize]
+    }
+}
 
 /// Summary statistics from an interpreter run.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
@@ -83,10 +143,11 @@ pub fn run_to_halt(
     align: AlignPolicy,
     budget: u64,
 ) -> Result<RunStats, RunError> {
+    let decoded = DecodeCache::new(program);
     let mut stats = RunStats::default();
     while stats.instructions < budget {
         let pc = cpu.pc;
-        let inst = program.fetch(pc).map_err(|trap| RunError::Trapped { pc, trap })?;
+        let inst = decoded.fetch(pc).map_err(|trap| RunError::Trapped { pc, trap })?;
         let outcome =
             step(cpu, mem, inst, align).map_err(|trap| RunError::Trapped { pc, trap })?;
         stats.instructions += 1;

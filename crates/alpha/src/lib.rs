@@ -71,7 +71,7 @@ pub use disasm::disassemble;
 pub use encode::{encode, EncodeError};
 pub use exec::{step, AlignPolicy, Control, MemAccess, Outcome};
 pub use inst::{BranchOp, Inst, JumpKind, MemOp, OperateOp, Operand, PalFunc, SourceRegs};
-pub use interp::{run_to_halt, RunError, RunStats};
+pub use interp::{run_to_halt, DecodeCache, RunError, RunStats};
 pub use mem::Memory;
 pub use parse::{parse_program, ParseError};
 pub use program::{DataSegment, Program};

@@ -5,10 +5,36 @@
 //! untouched memory read zero, matching a zero-filled process image.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Multiplicative hasher for page numbers. Page indices are small dense
+/// integers, so a single Fibonacci multiply spreads them well; the default
+/// SipHash costs more than the page access it guards.
+#[derive(Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Sparse little-endian memory for the simulated machine.
 ///
@@ -23,7 +49,7 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// ```
 #[derive(Clone, Default, Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>,
 }
 
 impl Memory {
@@ -37,6 +63,7 @@ impl Memory {
         self.pages.len()
     }
 
+    #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
         self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
     }
@@ -62,17 +89,16 @@ impl Memory {
         self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
     }
 
+    #[inline]
     fn read_le(&self, addr: u64, bytes: usize) -> u64 {
         // Fast path: access within one page.
         let off = (addr & PAGE_MASK) as usize;
         if off + bytes <= PAGE_SIZE {
             match self.page(addr) {
                 Some(p) => {
-                    let mut v = 0u64;
-                    for i in (0..bytes).rev() {
-                        v = (v << 8) | p[off + i] as u64;
-                    }
-                    v
+                    let mut raw = [0u8; 8];
+                    raw[..bytes].copy_from_slice(&p[off..off + bytes]);
+                    u64::from_le_bytes(raw)
                 }
                 None => 0,
             }
@@ -85,15 +111,12 @@ impl Memory {
         }
     }
 
+    #[inline]
     fn write_le(&mut self, addr: u64, bytes: usize, value: u64) {
         let off = (addr & PAGE_MASK) as usize;
         if off + bytes <= PAGE_SIZE {
             let p = self.page_mut(addr);
-            let mut v = value;
-            for i in 0..bytes {
-                p[off + i] = v as u8;
-                v >>= 8;
-            }
+            p[off..off + bytes].copy_from_slice(&value.to_le_bytes()[..bytes]);
         } else {
             let mut v = value;
             for i in 0..bytes {
@@ -104,31 +127,37 @@ impl Memory {
     }
 
     /// Reads a little-endian 16-bit value.
+    #[inline]
     pub fn read_u16(&self, addr: u64) -> u16 {
         self.read_le(addr, 2) as u16
     }
 
     /// Writes a little-endian 16-bit value.
+    #[inline]
     pub fn write_u16(&mut self, addr: u64, value: u16) {
         self.write_le(addr, 2, value as u64);
     }
 
     /// Reads a little-endian 32-bit value.
+    #[inline]
     pub fn read_u32(&self, addr: u64) -> u32 {
         self.read_le(addr, 4) as u32
     }
 
     /// Writes a little-endian 32-bit value.
+    #[inline]
     pub fn write_u32(&mut self, addr: u64, value: u32) {
         self.write_le(addr, 4, value as u64);
     }
 
     /// Reads a little-endian 64-bit value.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         self.read_le(addr, 8)
     }
 
     /// Writes a little-endian 64-bit value.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) {
         self.write_le(addr, 8, value);
     }

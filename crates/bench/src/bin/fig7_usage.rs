@@ -13,14 +13,11 @@ use ildp_isa::IsaForm;
 use spec_workloads::suite;
 
 fn pct(stats: &ildp_core::VmStats, cats: &[UsageCat]) -> f64 {
-    let total: u64 = stats.engine.categories.values().sum();
+    let total = stats.engine.categories_total();
     if total == 0 {
         return 0.0;
     }
-    let n: u64 = cats
-        .iter()
-        .map(|c| stats.engine.categories.get(c).copied().unwrap_or(0))
-        .sum();
+    let n: u64 = cats.iter().map(|c| stats.engine.category(*c)).sum();
     n as f64 * 100.0 / total as f64
 }
 

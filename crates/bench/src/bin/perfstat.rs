@@ -1,0 +1,135 @@
+//! Functional-engine throughput snapshot → `BENCH_engine.json`.
+//!
+//! Runs the whole workload suite under the functional engine (no timing
+//! model, `NullSink`) and emits a machine-readable JSON report — guest
+//! (V-ISA) instructions per second, dispatch counts, dual-RAS hit rate —
+//! so successive PRs have a perf trajectory to compare against.
+//!
+//! Usage: `cargo run --release -p ildp-bench --bin perfstat [-- <out.json>]`
+//! (`ILDP_SCALE` scales the workloads, default 30; `PERFSTAT_REPS`
+//! repetitions per workload, default 3.)
+
+use ildp_core::{ChainPolicy, NullSink, Translator, Vm, VmConfig, VmExit};
+use spec_workloads::suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    wall_s: f64,
+    v_insts: u64,
+    executed: u64,
+    interpreted: u64,
+    dispatches: u64,
+    ras_hits: u64,
+    ras_misses: u64,
+    fragment_entries: u64,
+    fragments: u64,
+}
+
+fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
+    let config = VmConfig {
+        translator: Translator {
+            chain: ChainPolicy::SwPredDualRas,
+            ..Translator::default()
+        },
+        ..VmConfig::default()
+    };
+    let mut row = Row {
+        name: w.name,
+        wall_s: 0.0,
+        v_insts: 0,
+        executed: 0,
+        interpreted: 0,
+        dispatches: 0,
+        ras_hits: 0,
+        ras_misses: 0,
+        fragment_entries: 0,
+        fragments: 0,
+    };
+    for _ in 0..reps {
+        let mut vm = Vm::new(config, &w.program);
+        let start = Instant::now();
+        let exit = vm.run(w.budget * 2, &mut NullSink);
+        row.wall_s += start.elapsed().as_secs_f64();
+        match exit {
+            VmExit::Halted | VmExit::Budget => {}
+            VmExit::Trapped { vaddr, trap, .. } => {
+                panic!("{}: unexpected trap at {vaddr:#x}: {trap}", w.name)
+            }
+        }
+        let s = vm.stats();
+        row.v_insts += s.engine.v_insts;
+        row.executed += s.engine.executed;
+        row.interpreted += s.interpreted;
+        row.dispatches += s.engine.dispatches;
+        row.ras_hits += s.engine.ras_hits;
+        row.ras_misses += s.engine.ras_misses;
+        row.fragment_entries += s.engine.fragment_entries;
+        row.fragments += s.fragments;
+    }
+    row
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let scale: u32 = std::env::var("ILDP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let reps: u32 = std::env::var("PERFSTAT_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let rows: Vec<Row> = suite(scale).iter().map(|w| run_workload(w, reps)).collect();
+
+    let total_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
+    let total_v: u64 = rows.iter().map(|r| r.v_insts).sum();
+    let total_hits: u64 = rows.iter().map(|r| r.ras_hits).sum();
+    let total_misses: u64 = rows.iter().map(|r| r.ras_misses).sum();
+    let agg_ips = total_v as f64 / total_wall.max(1e-9);
+    let ras_rate = total_hits as f64 / (total_hits + total_misses).max(1) as f64;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"engine_functional\",");
+    let _ = writeln!(json, "  \"mode\": \"null_sink\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"guest_insts_per_sec\": {agg_ips:.0},");
+    let _ = writeln!(json, "  \"total_guest_insts\": {total_v},");
+    let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.4},");
+    let _ = writeln!(json, "  \"ras_hit_rate\": {ras_rate:.4},");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (k, r) in rows.iter().enumerate() {
+        let ips = r.v_insts as f64 / r.wall_s.max(1e-9);
+        let comma = if k + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"guest_insts_per_sec\": {ips:.0}, \
+             \"v_insts\": {}, \"executed\": {}, \"interpreted\": {}, \
+             \"dispatches\": {}, \"ras_hits\": {}, \"ras_misses\": {}, \
+             \"fragment_entries\": {}, \"fragments\": {}, \
+             \"wall_seconds\": {:.4}}}{comma}",
+            r.name,
+            r.v_insts,
+            r.executed,
+            r.interpreted,
+            r.dispatches,
+            r.ras_hits,
+            r.ras_misses,
+            r.fragment_entries,
+            r.fragments,
+            r.wall_s,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    println!("wrote {out_path}: {agg_ips:.2e} guest insts/sec over {total_wall:.2}s");
+}

@@ -50,6 +50,26 @@ pub enum UsageCat {
 }
 
 impl UsageCat {
+    /// Number of categories (the width of array-backed counters).
+    pub const COUNT: usize = 8;
+
+    /// Every category, in discriminant order (matches [`UsageCat::index`]).
+    pub const ALL: [UsageCat; UsageCat::COUNT] = [
+        UsageCat::NoUser,
+        UsageCat::Local,
+        UsageCat::Temp,
+        UsageCat::LiveOut,
+        UsageCat::Communication,
+        UsageCat::LocalToGlobal,
+        UsageCat::NoUserToGlobal,
+        UsageCat::Spill,
+    ];
+
+    /// Dense index for array-backed counters (the enum discriminant).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether the value must be available in a GPR (in the basic ISA this
     /// costs a `copy-to-GPR`; in the modified ISA the destination
     /// specifier covers it).

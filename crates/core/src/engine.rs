@@ -15,10 +15,20 @@ use crate::classify::UsageCat;
 use alpha_isa::{AlignPolicy, CpuState, JumpKind, Memory, Reg, Trap};
 use ildp_isa::{ASrc, Acc, IInst, ITarget, MemWidth};
 use ildp_uarch::{DynInst, InstClass};
-use std::collections::HashMap;
 
 /// Consumes the retired-instruction stream.
+///
+/// The engine's run loop is monomorphized over the sink, so a sink that
+/// declares [`TRACING`](TraceSink::TRACING) `false` compiles the whole
+/// record-construction path out of the loop — functional runs pay nothing
+/// for the tracing machinery.
 pub trait TraceSink {
+    /// Whether this sink consumes records. When `false` the engine skips
+    /// building [`DynInst`]s entirely and never calls
+    /// [`retire`](TraceSink::retire); trace output is unaffected for any
+    /// sink that leaves this `true`.
+    const TRACING: bool = true;
+
     /// Receives one retired instruction.
     fn retire(&mut self, inst: &DynInst);
 }
@@ -28,6 +38,8 @@ pub trait TraceSink {
 pub struct NullSink;
 
 impl TraceSink for NullSink {
+    const TRACING: bool = false;
+
     fn retire(&mut self, _inst: &DynInst) {}
 }
 
@@ -64,7 +76,7 @@ pub enum FragExit {
 
 /// Execution statistics accumulated by the engine (the dynamic side of
 /// Table 2 and Figure 7).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct EngineStats {
     /// Total I-ISA instructions executed (including dispatch expansion).
     pub executed: u64,
@@ -74,8 +86,9 @@ pub struct EngineStats {
     pub copies_executed: u64,
     /// V-ISA instructions retired by translated code.
     pub v_insts: u64,
-    /// Dynamic usage-category counts (Figure 7).
-    pub categories: HashMap<UsageCat, u64>,
+    /// Dynamic usage-category counts (Figure 7), indexed by
+    /// [`UsageCat::index`].
+    pub categories: [u64; UsageCat::COUNT],
     /// Shared-dispatch executions.
     pub dispatches: u64,
     /// Architectural dual-RAS predictions that matched.
@@ -84,6 +97,18 @@ pub struct EngineStats {
     pub ras_misses: u64,
     /// Fragment entries.
     pub fragment_entries: u64,
+}
+
+impl EngineStats {
+    /// Dynamic count for one usage category.
+    pub fn category(&self, cat: UsageCat) -> u64 {
+        self.categories[cat.index()]
+    }
+
+    /// Total classified values retired (the Figure 7 denominator).
+    pub fn categories_total(&self) -> u64 {
+        self.categories.iter().sum()
+    }
 }
 
 /// Engine configuration.
@@ -111,12 +136,26 @@ impl Default for EngineConfig {
 /// behavior of the dispatch loads).
 const DISPATCH_TABLE_BASE: u64 = 0xE000_0000;
 
+/// One architectural dual-RAS entry: the architected (V, I) return-address
+/// pair, plus a fast-path annotation — the fragment the I-address enters,
+/// stamped with the cache epoch it was captured in. The link is followed
+/// directly on a RAS hit when the epoch still matches; a stale or absent
+/// link falls back to dispatch, exactly as the architected pair alone
+/// would.
+#[derive(Clone, Copy, Default, Debug)]
+struct RasEntry {
+    v: u64,
+    i: u64,
+    link: Option<FragmentId>,
+    epoch: u64,
+}
+
 /// The fragment execution engine. See the module documentation.
 #[derive(Clone, Debug)]
 pub struct Engine {
     config: EngineConfig,
     accs: [u64; Acc::MAX_ACCUMULATORS],
-    ras: Vec<(u64, u64)>,
+    ras: Vec<RasEntry>,
     ras_top: usize,
     ras_live: usize,
     /// Bytes written by `putchar`.
@@ -131,7 +170,7 @@ impl Engine {
         Engine {
             config,
             accs: [0; Acc::MAX_ACCUMULATORS],
-            ras: vec![(0, 0); config.ras_depth],
+            ras: vec![RasEntry::default(); config.ras_depth],
             ras_top: 0,
             ras_live: 0,
             output: Vec::new(),
@@ -139,22 +178,23 @@ impl Engine {
         }
     }
 
-    fn ras_push(&mut self, v: u64, i: u64) {
+    fn ras_push(&mut self, entry: RasEntry) {
         self.ras_top = (self.ras_top + 1) % self.ras.len();
-        self.ras[self.ras_top] = (v, i);
+        self.ras[self.ras_top] = entry;
         self.ras_live = (self.ras_live + 1).min(self.ras.len());
     }
 
-    fn ras_pop(&mut self) -> Option<(u64, u64)> {
+    fn ras_pop(&mut self) -> Option<RasEntry> {
         if self.ras_live == 0 {
             return None;
         }
-        let pair = self.ras[self.ras_top];
+        let entry = self.ras[self.ras_top];
         self.ras_top = (self.ras_top + self.ras.len() - 1) % self.ras.len();
         self.ras_live -= 1;
-        Some(pair)
+        Some(entry)
     }
 
+    #[inline]
     fn val(&self, src: ASrc, acc: Acc, cpu: &CpuState) -> u64 {
         match src {
             ASrc::Acc => self.accs[acc.index()],
@@ -181,38 +221,26 @@ impl Engine {
         state
     }
 
-    /// Builds the base trace record for an instruction.
-    fn record(&self, inst: &IInst, pc: u64, form: ildp_isa::IsaForm) -> DynInst {
-        let mut d = DynInst::alu(pc, inst.size_bytes(form) as u8);
-        let reads = inst.gpr_reads();
-        d.srcs = [
-            reads[0].map(|r| r.number()),
-            reads[1].map(|r| r.number()),
-            None,
-        ];
-        d.dst = inst.gpr_write().map(|r| r.number());
-        let uses_acc = inst.reads_acc() || inst.writes_acc();
-        d.acc = if uses_acc {
-            inst.acc().map(|a| a.number())
-        } else {
-            None
-        };
-        d.acc_read = inst.reads_acc();
-        d.acc_write = inst.writes_acc();
-        d
-    }
-
-    /// Emits the shared dispatch code's cost (paper: 20 instructions,
-    /// ending in the indirect jump that `no_pred` chaining stresses) and
-    /// returns the I-address the final jump lands on.
-    fn run_dispatch(
+    /// Models one pass through the shared dispatch code (paper: 20
+    /// instructions, ending in the indirect jump that `no_pred` chaining
+    /// stresses): charges its instruction cost to the statistics and, for
+    /// tracing sinks, streams the dispatch sequence's retire records —
+    /// `target_iaddr` is the I-address the final indirect jump lands on
+    /// (`None` models a miss, which re-enters the dispatch address). The
+    /// caller decides where control actually continues.
+    fn run_dispatch<S: TraceSink>(
         &mut self,
         vtarget: u64,
         target_iaddr: Option<u64>,
-        sink: &mut dyn TraceSink,
+        sink: &mut S,
     ) {
         self.stats.dispatches += 1;
         let n = self.config.dispatch_cost.max(2);
+        self.stats.executed += n as u64;
+        self.stats.chain_executed += n as u64;
+        if !S::TRACING {
+            return;
+        }
         // A short dependence chain: hash the V-PC, probe the translation
         // table (two loads), compare, then jump indirect.
         let hash = vtarget.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48;
@@ -238,8 +266,6 @@ impl Engine {
                 d.next_pc = target_iaddr.unwrap_or(DISPATCH_IADDR);
                 d.taken = true;
             }
-            self.stats.executed += 1;
-            self.stats.chain_executed += 1;
             sink.retire(&d);
         }
     }
@@ -250,59 +276,68 @@ impl Engine {
     /// `cpu` is the architected GPR file (`cpu.pc` is not used while in
     /// translated code — the implementation PC sequences fragments, as in
     /// the paper's §2.2).
-    pub fn run(
+    ///
+    /// Monomorphized over the sink: with a non-tracing sink
+    /// ([`NullSink`]), record construction compiles out entirely.
+    pub fn run<S: TraceSink>(
         &mut self,
         cache: &mut TranslationCache,
         entry: FragmentId,
         cpu: &mut CpuState,
         mem: &mut Memory,
         budget_v: u64,
-        sink: &mut dyn TraceSink,
+        sink: &mut S,
     ) -> FragExit {
         let mut fid = entry;
-        let mut idx: usize = 0;
-        cache.fragment_mut(fid).entries += 1;
-        self.stats.fragment_entries += 1;
-        loop {
+        // Every transfer of control between fragments converges on the top
+        // of this loop: it is the single site that books fragment entries,
+        // and it re-borrows the new fragment's instruction / metadata /
+        // link / template slices once, so the per-instruction loop below
+        // indexes flat slices instead of re-resolving the fragment through
+        // the cache on every iteration.
+        'fragment: loop {
+            cache.fragment_mut(fid).entries += 1;
+            self.stats.fragment_entries += 1;
+            let frag = cache.fragment(fid);
+            let insts = frag.insts.as_slice();
+            let metas = frag.meta.as_slice();
+            let links = frag.links.as_slice();
+            let templates = frag.templates.as_slice();
+            let mut idx: usize = 0;
+            loop {
             if self.stats.v_insts >= budget_v {
                 return FragExit::Budget;
             }
-            let frag = cache.fragment(fid);
-            debug_assert!(idx < frag.insts.len(), "fragment fell off its end");
-            let inst = frag.insts[idx];
-            let meta = frag.meta[idx];
-            let pc = frag.iaddrs[idx];
-            let next_pc = frag
-                .iaddrs
-                .get(idx + 1)
-                .copied()
-                .unwrap_or(pc + inst.size_bytes(frag.form) as u64);
-            let form = frag.form;
+            debug_assert!(idx < insts.len(), "fragment fell off its end");
+            let inst = insts[idx];
+            let meta = metas[idx];
+            let link = links[idx];
 
-            let mut d = self.record(&inst, pc, form);
-            d.next_pc = next_pc;
-            d.vcount = meta.vcount;
+            // The install-time template carries every static record field;
+            // only dynamic outcomes (taken, mem_addr, v_target, the taken
+            // next_pc) are patched below.
+            let mut d = if S::TRACING {
+                templates[idx]
+            } else {
+                DynInst::alu(0, 0)
+            };
 
             self.stats.executed += 1;
             self.stats.v_insts += meta.vcount as u64;
             if meta.is_chain {
                 self.stats.chain_executed += 1;
             }
-            if inst.is_copy() {
-                self.stats.copies_executed += 1;
-            }
             if let Some(cat) = meta.category {
-                *self.stats.categories.entry(cat).or_insert(0) += 1;
+                self.stats.categories[cat.index()] += 1;
             }
 
             // Control decision made while executing; `None` means fall
             // through to idx + 1.
-            let mut goto: Option<u64> = None; // I-address to continue at
+            let mut goto: Option<FragmentId> = None;
             let mut exit: Option<FragExit> = None;
 
-            let acc = inst.acc().unwrap_or(Acc::new(0));
             match inst {
-                IInst::Op { op, lhs, rhs, dst, .. } => {
+                IInst::Op { op, acc, lhs, rhs, dst } => {
                     let a = self.val(lhs, acc, cpu);
                     let b = self.val(rhs, acc, cpu);
                     let result = if op.is_cmov() {
@@ -316,15 +351,12 @@ impl Engine {
                     } else {
                         op.eval(a, b)
                     };
-                    if op.is_multiply() {
-                        d.class = InstClass::IntMul;
-                    }
                     self.accs[acc.index()] = result;
                     if let Some(r) = dst {
                         cpu.write(r, result);
                     }
                 }
-                IInst::AddHigh { src, imm, dst, .. } => {
+                IInst::AddHigh { acc, src, imm, dst } => {
                     let base = self.val(src, acc, cpu);
                     let result = base.wrapping_add(((imm as i64) << 16) as u64);
                     self.accs[acc.index()] = result;
@@ -332,7 +364,7 @@ impl Engine {
                         cpu.write(r, result);
                     }
                 }
-                IInst::CmovSelect { lbs, value, old, dst, .. } => {
+                IInst::CmovSelect { acc, lbs, value, old, dst } => {
                     let test = self.accs[acc.index()];
                     let taken = (test & 1 == 1) == lbs;
                     let result = if taken {
@@ -345,8 +377,7 @@ impl Engine {
                         cpu.write(r, result);
                     }
                 }
-                IInst::Load { width, addr, disp, dst, .. } => {
-                    d.class = InstClass::Load;
+                IInst::Load { acc, width, addr, disp, dst } => {
                     let a = self
                         .val(addr, acc, cpu)
                         .wrapping_add(disp as i64 as u64);
@@ -359,7 +390,9 @@ impl Engine {
                             });
                         }
                         Ok(()) => {
-                            d.mem_addr = Some(a);
+                            if S::TRACING {
+                                d.mem_addr = Some(a);
+                            }
                             let v = match width {
                                 MemWidth::U8 => mem.read_u8(a) as u64,
                                 MemWidth::U16 => mem.read_u16(a) as u64,
@@ -373,8 +406,7 @@ impl Engine {
                         }
                     }
                 }
-                IInst::Store { width, addr, disp, value, .. } => {
-                    d.class = InstClass::Store;
+                IInst::Store { acc, width, addr, disp, value } => {
                     let a = self
                         .val(addr, acc, cpu)
                         .wrapping_add(disp as i64 as u64);
@@ -387,7 +419,9 @@ impl Engine {
                             });
                         }
                         Ok(()) => {
-                            d.mem_addr = Some(a);
+                            if S::TRACING {
+                                d.mem_addr = Some(a);
+                            }
                             let v = self.val(value, acc, cpu);
                             match width {
                                 MemWidth::U8 => mem.write_u8(a, v as u8),
@@ -398,124 +432,127 @@ impl Engine {
                         }
                     }
                 }
-                IInst::CopyToGpr { dst, .. } => {
+                IInst::CopyToGpr { acc, dst } => {
+                    self.stats.copies_executed += 1;
                     cpu.write(dst, self.accs[acc.index()]);
                 }
-                IInst::CopyFromGpr { src, .. } => {
+                IInst::CopyFromGpr { acc, src } => {
+                    self.stats.copies_executed += 1;
                     self.accs[acc.index()] = cpu.read(src);
                 }
-                IInst::CondBranch { cond, src, target, .. } => {
-                    d.class = InstClass::CondBranch;
+                IInst::CondBranch { acc, cond, src, target } => {
                     let taken = cond.eval(self.val(src, acc, cpu));
-                    d.taken = taken;
                     if taken {
-                        let ITarget::Addr(a) = target else {
-                            panic!("unresolved local branch target")
-                        };
-                        d.next_pc = a;
-                        goto = Some(a);
+                        if S::TRACING {
+                            d.taken = true;
+                            let ITarget::Addr(a) = target else {
+                                panic!("unresolved local branch target")
+                            };
+                            d.next_pc = a;
+                        }
+                        goto = Some(resolve_link(link, target));
                     }
                 }
                 IInst::Branch { target } => {
-                    d.class = InstClass::Branch;
-                    d.taken = true;
-                    let ITarget::Addr(a) = target else {
-                        panic!("unresolved branch target")
-                    };
-                    d.next_pc = a;
-                    goto = Some(a);
+                    // class, taken and next_pc are static — already in the
+                    // template.
+                    goto = Some(resolve_link(link, target));
                 }
-                IInst::IndirectJump { kind, addr, .. } => {
+                IInst::IndirectJump { acc, kind, addr } => {
                     debug_assert_eq!(kind, JumpKind::Ret, "only returns reach the engine");
-                    d.class = InstClass::Return;
                     let actual_v = self.val(addr, acc, cpu) & !3u64;
-                    d.v_target = actual_v;
+                    if S::TRACING {
+                        d.v_target = actual_v;
+                    }
                     match self.ras_pop() {
-                        Some((v, i)) if v == actual_v => {
+                        Some(e) if e.v == actual_v => {
                             self.stats.ras_hits += 1;
-                            d.taken = true;
-                            d.next_pc = i;
-                            // A stale I-address (the cache was flushed since
-                            // the push) behaves like an unresolved push.
-                            let stale =
-                                i != DISPATCH_IADDR && cache.lookup_iaddr(i).is_none();
-                            if i == DISPATCH_IADDR || stale {
-                                // Unresolved push: architecturally correct,
-                                // goes through dispatch.
-                                sink.retire(&d);
-                                let target = cache.lookup(actual_v);
-                                let ti = target
-                                    .map(|t| cache.fragment(t).istart);
-                                self.run_dispatch(actual_v, ti, sink);
-                                match target {
-                                    Some(t) => {
-                                        fid = t;
-                                        idx = 0;
-                                        cache.fragment_mut(fid).entries += 1;
-                                        self.stats.fragment_entries += 1;
-                                        continue;
+                            if S::TRACING {
+                                d.taken = true;
+                                d.next_pc = e.i;
+                            }
+                            // The direct link is valid only within the epoch
+                            // it was captured in: a stale link (the cache was
+                            // flushed since the push) and an unresolved push
+                            // (no link) both go through dispatch,
+                            // architecturally correct either way.
+                            match e.link.filter(|_| e.epoch == cache.epoch()) {
+                                Some(t) => goto = Some(t),
+                                None => {
+                                    if S::TRACING {
+                                        sink.retire(&d);
                                     }
-                                    None => {
-                                        return FragExit::NotTranslated { vtarget: actual_v }
+                                    let target = cache.lookup(actual_v);
+                                    let ti = target
+                                        .map(|t| cache.fragment(t).istart);
+                                    self.run_dispatch(actual_v, ti, sink);
+                                    match target {
+                                        Some(t) => {
+                                            fid = t;
+                                            continue 'fragment;
+                                        }
+                                        None => {
+                                            return FragExit::NotTranslated { vtarget: actual_v }
+                                        }
                                     }
                                 }
                             }
-                            goto = Some(i);
                         }
                         _ => {
                             // Mismatch: fall through to the dispatch
-                            // instruction that follows the return.
+                            // instruction that follows the return (the
+                            // template's taken stays false).
                             self.stats.ras_misses += 1;
-                            d.taken = false;
                         }
                     }
                 }
                 IInst::SetVpcBase { .. } => {}
-                IInst::LoadEmbeddedTarget { vaddr, .. } => {
+                IInst::LoadEmbeddedTarget { acc, vaddr } => {
                     self.accs[acc.index()] = vaddr;
                 }
                 IInst::SaveVReturn { dst, vaddr } => {
                     cpu.write(dst, vaddr);
                 }
                 IInst::PushDualRas { vret, iret } => {
-                    d.class = InstClass::DualRasPush;
+                    // class and ras_pair are static — in the template.
                     let ITarget::Addr(i) = iret else {
                         panic!("unresolved dual-RAS push")
                     };
-                    d.ras_pair = Some((vret, i));
-                    self.ras_push(vret, i);
+                    self.ras_push(RasEntry {
+                        v: vret,
+                        i,
+                        link,
+                        epoch: cache.epoch(),
+                    });
                 }
-                IInst::CallTranslatorIfCond { cond, src, vtarget, .. } => {
-                    d.class = InstClass::CondBranch;
+                IInst::CallTranslatorIfCond { acc, cond, src, vtarget } => {
                     let taken = cond.eval(self.val(src, acc, cpu));
-                    d.taken = taken;
+                    if S::TRACING {
+                        d.taken = taken;
+                        if taken {
+                            d.next_pc = DISPATCH_IADDR;
+                        }
+                    }
                     if taken {
-                        d.next_pc = DISPATCH_IADDR;
                         exit = Some(FragExit::NotTranslated { vtarget });
                     }
                 }
                 IInst::CallTranslator { vtarget } => {
-                    d.class = InstClass::Branch;
-                    d.taken = true;
-                    d.next_pc = DISPATCH_IADDR;
+                    // class, taken and next_pc are static — in the template.
                     exit = Some(FragExit::NotTranslated { vtarget });
                 }
-                IInst::Dispatch { src, .. } => {
-                    d.class = InstClass::Branch;
-                    d.taken = true;
-                    d.next_pc = DISPATCH_IADDR;
+                IInst::Dispatch { acc, src } => {
                     let v = self.val(src, acc, cpu) & !3u64;
-                    sink.retire(&d);
+                    if S::TRACING {
+                        sink.retire(&d);
+                    }
                     let target = cache.lookup(v);
                     let ti = target.map(|t| cache.fragment(t).istart);
                     self.run_dispatch(v, ti, sink);
                     match target {
                         Some(t) => {
                             fid = t;
-                            idx = 0;
-                            cache.fragment_mut(fid).entries += 1;
-                            self.stats.fragment_entries += 1;
-                            continue;
+                            continue 'fragment;
                         }
                         None => return FragExit::NotTranslated { vtarget: v },
                     }
@@ -530,7 +567,7 @@ impl Engine {
                         state,
                     });
                 }
-                IInst::PutChar { src, .. } => {
+                IInst::PutChar { acc, src } => {
                     let b = self.val(src, acc, cpu) as u8;
                     self.output.push(b);
                 }
@@ -539,23 +576,31 @@ impl Engine {
                 }
             }
 
-            sink.retire(&d);
+            if S::TRACING {
+                sink.retire(&d);
+            }
             if let Some(e) = exit {
                 return e;
             }
             match goto {
                 None => idx += 1,
-                Some(a) => match cache.lookup_iaddr(a) {
-                    Some(t) => {
-                        fid = t;
-                        idx = 0;
-                        cache.fragment_mut(fid).entries += 1;
-                        self.stats.fragment_entries += 1;
-                    }
-                    None => panic!("branch to unmapped I-address {a:#x}"),
-                },
+                Some(t) => {
+                    fid = t;
+                    continue 'fragment;
+                }
+            }
             }
         }
+    }
+}
+
+/// Unwraps an install-time direct link; every resolved branch target is a
+/// fragment entry point, so a missing link means the target I-address is
+/// unmapped.
+fn resolve_link(link: Option<FragmentId>, target: ITarget) -> FragmentId {
+    match link {
+        Some(t) => t,
+        None => panic!("branch to unmapped I-target {target:?}"),
     }
 }
 
@@ -576,6 +621,7 @@ mod tests {
     use crate::fragment::IMeta;
     use alpha_isa::OperateOp;
     use ildp_isa::IsaForm;
+    use std::collections::HashMap;
 
     /// A sink that records every retired instruction.
     #[derive(Default)]
@@ -683,12 +729,20 @@ mod tests {
 
     #[test]
     fn architectural_ras_round_trip() {
+        let entry = |v, i| RasEntry {
+            v,
+            i,
+            link: None,
+            epoch: 0,
+        };
         let mut engine = Engine::new(EngineConfig::default());
-        engine.ras_push(0x10, 0x100);
-        engine.ras_push(0x20, 0x200);
-        assert_eq!(engine.ras_pop(), Some((0x20, 0x200)));
-        assert_eq!(engine.ras_pop(), Some((0x10, 0x100)));
-        assert_eq!(engine.ras_pop(), None);
+        engine.ras_push(entry(0x10, 0x100));
+        engine.ras_push(entry(0x20, 0x200));
+        let top = engine.ras_pop().unwrap();
+        assert_eq!((top.v, top.i), (0x20, 0x200));
+        let next = engine.ras_pop().unwrap();
+        assert_eq!((next.v, next.i), (0x10, 0x100));
+        assert!(engine.ras_pop().is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::classify::UsageCat;
 use alpha_isa::Reg;
 use ildp_isa::{Acc, IInst, ITarget, IsaForm};
+use ildp_uarch::{DynInst, InstClass};
 use std::collections::HashMap;
 
 /// Identifier of an installed fragment.
@@ -79,6 +80,17 @@ pub struct Fragment {
     /// Per PEI instruction index: accumulator-resident architected values
     /// to merge into the GPR file on a trap (basic form).
     pub recovery: HashMap<u32, Vec<RecoveryEntry>>,
+    /// Predecoded per-instruction trace templates: everything about a
+    /// [`DynInst`] that is static — PC, size, operand names, class, the
+    /// fall-through `next_pc` — computed once at install time so tracing
+    /// execution is copy-plus-patch instead of per-retire construction.
+    pub templates: Vec<DynInst>,
+    /// Per-instruction direct links: for a control transfer whose target
+    /// I-address is resolved, the fragment whose entry point it is. Kept in
+    /// lockstep with patching so the engine follows links without hashing
+    /// through the I-address lookup map. Invalidated wholesale by
+    /// [`TranslationCache::flush`] (the fragments are dropped).
+    pub links: Vec<Option<FragmentId>>,
     /// Times this fragment has been entered (for statistics).
     pub entries: u64,
 }
@@ -125,6 +137,10 @@ pub struct TranslationCache {
     next_iaddr: u64,
     patches_applied: u64,
     flushes: u64,
+    /// Bumped on every flush. I-addresses are never reused, so any cached
+    /// reference stamped with an older epoch (an engine dual-RAS entry's
+    /// direct link) is known stale without consulting the lookup maps.
+    epoch: u64,
 }
 
 /// Base I-address of the code cache.
@@ -184,6 +200,16 @@ impl TranslationCache {
         self.flushes
     }
 
+    /// The current flush epoch. A direct fragment link captured together
+    /// with this value stays valid exactly as long as the epoch is
+    /// unchanged (fragments are only ever removed by [`flush`], which bumps
+    /// it).
+    ///
+    /// [`flush`]: TranslationCache::flush
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Flushes the translation cache (the Dynamo-style response to a
     /// program phase change — paper §4.1 notes the cost of *not*
     /// occasionally flushing). All fragments, lookup entries and pending
@@ -196,6 +222,7 @@ impl TranslationCache {
         self.by_istart.clear();
         self.pending.clear();
         self.flushes += 1;
+        self.epoch += 1;
     }
 
     /// Total static code bytes installed.
@@ -237,6 +264,20 @@ impl TranslationCache {
         }
         self.next_iaddr = (addr + 7) & !7;
 
+        let templates = insts
+            .iter()
+            .enumerate()
+            .map(|(k, inst)| {
+                let pc = iaddrs[k];
+                let next_pc = iaddrs
+                    .get(k + 1)
+                    .copied()
+                    .unwrap_or(pc + inst.size_bytes(form) as u64);
+                build_template(inst, pc, next_pc, meta[k].vcount, form)
+            })
+            .collect();
+        let links = vec![None; insts.len()];
+
         let fragment = Fragment {
             id,
             vstart,
@@ -247,6 +288,8 @@ impl TranslationCache {
             form,
             src_inst_count,
             recovery,
+            templates,
+            links,
             entries: 0,
         };
         self.fragments.push(fragment);
@@ -295,6 +338,7 @@ impl TranslationCache {
                                     vret,
                                     iret: ITarget::Addr(istart),
                                 };
+                            self.refresh_site(id, idx);
                         }
                         None => self.pending.entry(vret).or_default().push((id, idx)),
                     }
@@ -324,7 +368,107 @@ impl TranslationCache {
             other => panic!("patching non-patchable instruction {other:?}"),
         };
         self.patches_applied += 1;
+        self.refresh_site(fid, idx);
     }
+
+    /// Recomputes the trace template and direct link of one instruction
+    /// from its (just rewritten) form, keeping both in lockstep with
+    /// patching.
+    fn refresh_site(&mut self, fid: FragmentId, idx: u32) {
+        let f = &self.fragments[fid.0 as usize];
+        let k = idx as usize;
+        let inst = f.insts[k];
+        let pc = f.iaddrs[k];
+        let next_pc = f
+            .iaddrs
+            .get(k + 1)
+            .copied()
+            .unwrap_or(pc + inst.size_bytes(f.form) as u64);
+        let template = build_template(&inst, pc, next_pc, f.meta[k].vcount, f.form);
+        let link = self.link_of(&inst);
+        let f = &mut self.fragments[fid.0 as usize];
+        f.templates[k] = template;
+        f.links[k] = link;
+    }
+
+    /// The fragment a resolved control-transfer target lands in, if the
+    /// target I-address is a fragment entry point. `DISPATCH_IADDR` and
+    /// unresolved targets yield `None`.
+    fn link_of(&self, inst: &IInst) -> Option<FragmentId> {
+        let addr = match *inst {
+            IInst::CondBranch {
+                target: ITarget::Addr(a),
+                ..
+            } => a,
+            IInst::Branch {
+                target: ITarget::Addr(a),
+            } => a,
+            IInst::PushDualRas {
+                iret: ITarget::Addr(a),
+                ..
+            } => a,
+            _ => return None,
+        };
+        if addr == DISPATCH_IADDR {
+            return None;
+        }
+        self.by_istart.get(&addr).copied()
+    }
+}
+
+/// Builds the static part of an instruction's retire record: operand
+/// names, accumulator usage, class, and every field whose value does not
+/// depend on runtime state. The engine copies this template and patches
+/// only the dynamic fields (`taken`, `mem_addr`, `v_target`, taken-branch
+/// `next_pc`) at retire time.
+fn build_template(inst: &IInst, pc: u64, next_pc: u64, vcount: u16, form: IsaForm) -> DynInst {
+    let mut d = DynInst::alu(pc, inst.size_bytes(form) as u8);
+    let reads = inst.gpr_reads();
+    d.srcs = [
+        reads[0].map(|r| r.number()),
+        reads[1].map(|r| r.number()),
+        None,
+    ];
+    d.dst = inst.gpr_write().map(|r| r.number());
+    let uses_acc = inst.reads_acc() || inst.writes_acc();
+    d.acc = if uses_acc {
+        inst.acc().map(|a| a.number())
+    } else {
+        None
+    };
+    d.acc_read = inst.reads_acc();
+    d.acc_write = inst.writes_acc();
+    d.next_pc = next_pc;
+    d.vcount = vcount;
+    match *inst {
+        IInst::Op { op, .. } if op.is_multiply() => d.class = InstClass::IntMul,
+        IInst::Load { .. } => d.class = InstClass::Load,
+        IInst::Store { .. } => d.class = InstClass::Store,
+        IInst::CondBranch { .. } | IInst::CallTranslatorIfCond { .. } => {
+            d.class = InstClass::CondBranch;
+        }
+        IInst::Branch { target } => {
+            d.class = InstClass::Branch;
+            d.taken = true;
+            if let ITarget::Addr(a) = target {
+                d.next_pc = a;
+            }
+        }
+        IInst::IndirectJump { .. } => d.class = InstClass::Return,
+        IInst::PushDualRas { vret, iret } => {
+            d.class = InstClass::DualRasPush;
+            if let ITarget::Addr(i) = iret {
+                d.ras_pair = Some((vret, i));
+            }
+        }
+        IInst::CallTranslator { .. } | IInst::Dispatch { .. } => {
+            d.class = InstClass::Branch;
+            d.taken = true;
+            d.next_pc = DISPATCH_IADDR;
+        }
+        _ => {}
+    }
+    d
 }
 
 #[cfg(test)]

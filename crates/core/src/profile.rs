@@ -15,7 +15,7 @@
 
 use crate::superblock::{CollectedFlow, SbEnd, SbInst, Superblock};
 use alpha_isa::{
-    step, AlignPolicy, BranchOp, Control, CpuState, Inst, Memory, Program, Trap,
+    step, AlignPolicy, BranchOp, Control, CpuState, DecodeCache, Inst, Memory, Program, Trap,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -103,19 +103,22 @@ pub enum InterpEvent {
 /// Interprets a single instruction, updating candidate counters for the
 /// *next* PC when the executed instruction makes it a candidate.
 ///
+/// Fetches through the predecoded [`DecodeCache`] (one decode per static
+/// instruction for the whole run, not one per step).
+///
 /// `stats` counts interpreted instructions (for the translation-overhead
 /// model).
 pub fn interp_step(
     cpu: &mut CpuState,
     mem: &mut Memory,
-    program: &Program,
+    decoded: &DecodeCache,
     candidates: &mut Candidates,
     config: &ProfileConfig,
     interpreted: &mut u64,
     output: &mut Vec<u8>,
 ) -> InterpEvent {
     let pc = cpu.pc;
-    let inst = match program.fetch(pc) {
+    let inst = match decoded.fetch(pc) {
         Ok(i) => i,
         Err(trap) => return InterpEvent::Trapped { vaddr: pc, trap },
     };
@@ -288,6 +291,7 @@ mod tests {
     #[test]
     fn backward_branch_target_becomes_hot() {
         let program = countdown_program();
+        let decoded = DecodeCache::new(&program);
         let (mut cpu, mut mem) = program.load();
         let mut cands = Candidates::new();
         let config = ProfileConfig {
@@ -297,7 +301,7 @@ mod tests {
         let mut interp = 0u64;
         let mut hot = None;
         for _ in 0..1000 {
-            match interp_step(&mut cpu, &mut mem, &program, &mut cands, &config, &mut interp, &mut Vec::new()) {
+            match interp_step(&mut cpu, &mut mem, &decoded, &mut cands, &config, &mut interp, &mut Vec::new()) {
                 InterpEvent::Hot { vaddr } => {
                     hot = Some(vaddr);
                     break;
@@ -316,12 +320,13 @@ mod tests {
     #[test]
     fn collection_ends_at_backward_taken_branch() {
         let program = countdown_program();
+        let decoded = DecodeCache::new(&program);
         let (mut cpu, mut mem) = program.load();
         // Enter the loop first.
         let config = ProfileConfig::default();
         let mut c = Candidates::new();
         let mut n = 0;
-        interp_step(&mut cpu, &mut mem, &program, &mut c, &config, &mut n, &mut Vec::new());
+        interp_step(&mut cpu, &mut mem, &decoded, &mut c, &config, &mut n, &mut Vec::new());
         assert_eq!(cpu.pc, 0x1004);
         let sb = collect_superblock(&mut cpu, &mut mem, &program, &config).unwrap();
         assert_eq!(sb.start, 0x1004);

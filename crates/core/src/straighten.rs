@@ -137,6 +137,8 @@ pub struct StraightenedVm<'p> {
     chain: ChainPolicy,
     profile: ProfileConfig,
     program: &'p Program,
+    /// Predecoded code segment driving the interpreter's fetches.
+    decoded: alpha_isa::DecodeCache,
     cpu: CpuState,
     mem: Memory,
     candidates: Candidates,
@@ -167,6 +169,7 @@ impl<'p> StraightenedVm<'p> {
         StraightenedVm {
             chain,
             profile,
+            decoded: alpha_isa::DecodeCache::new(program),
             program,
             cpu,
             mem,
@@ -524,10 +527,10 @@ impl<'p> StraightenedVm<'p> {
 
     // ---- execution ----
 
-    fn run_dispatch(
+    fn run_dispatch<S: crate::engine::TraceSink>(
         &mut self,
         vtarget: u64,
-        sink: &mut dyn crate::engine::TraceSink,
+        sink: &mut S,
     ) -> Option<usize> {
         self.stats.dispatches += 1;
         let target = self.by_vstart.get(&vtarget).copied();
@@ -562,10 +565,10 @@ impl<'p> StraightenedVm<'p> {
     }
 
     /// Executes straightened fragments from `entry` until an exit.
-    fn execute(
+    fn execute<S: crate::engine::TraceSink>(
         &mut self,
         entry: usize,
-        sink: &mut dyn crate::engine::TraceSink,
+        sink: &mut S,
         budget: u64,
     ) -> ExecExit {
         let mut fi = entry;
@@ -773,7 +776,7 @@ impl<'p> StraightenedVm<'p> {
 
     /// Runs until halt, trap, or `budget` V-ISA instructions, streaming
     /// the straightened-code trace into `sink`.
-    pub fn run(&mut self, budget: u64, sink: &mut dyn crate::engine::TraceSink) -> VmExit {
+    pub fn run<S: crate::engine::TraceSink>(&mut self, budget: u64, sink: &mut S) -> VmExit {
         loop {
             if self.stats.interpreted + self.stats.v_insts >= budget {
                 return VmExit::Budget;
@@ -801,7 +804,7 @@ impl<'p> StraightenedVm<'p> {
             match interp_step(
                 &mut self.cpu,
                 &mut self.mem,
-                self.program,
+                &self.decoded,
                 &mut self.candidates,
                 &self.profile,
                 &mut self.stats.interpreted,

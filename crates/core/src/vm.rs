@@ -15,7 +15,7 @@ use crate::profile::{
     collect_superblock_with_output, interp_step, Candidates, InterpEvent, ProfileConfig,
 };
 use crate::translate::Translator;
-use alpha_isa::{CpuState, Memory, Program, Trap};
+use alpha_isa::{CpuState, DecodeCache, Memory, Program, Trap};
 use ildp_uarch::{DynInst, InstClass};
 use std::collections::HashMap;
 
@@ -178,6 +178,8 @@ impl VmStats {
 pub struct Vm<'p> {
     config: VmConfig,
     program: &'p Program,
+    /// Predecoded code segment driving the interpreter's fetches.
+    decoded: DecodeCache,
     cpu: CpuState,
     mem: Memory,
     candidates: Candidates,
@@ -197,6 +199,7 @@ impl<'p> Vm<'p> {
         Vm {
             config,
             program,
+            decoded: DecodeCache::new(program),
             cpu,
             mem,
             candidates: Candidates::new(),
@@ -291,7 +294,11 @@ impl<'p> Vm<'p> {
     }
 
     /// Runs until halt, trap, or `budget` V-ISA instructions.
-    pub fn run(&mut self, budget: u64, sink: &mut dyn TraceSink) -> VmExit {
+    ///
+    /// Monomorphized over the sink (see [`TraceSink::TRACING`]): running
+    /// with [`crate::NullSink`] compiles the trace machinery out of the
+    /// engine's hot loop.
+    pub fn run<S: TraceSink>(&mut self, budget: u64, sink: &mut S) -> VmExit {
         loop {
             if self.v_instructions() >= budget {
                 self.finish_overheads();
@@ -340,7 +347,7 @@ impl<'p> Vm<'p> {
             match interp_step(
                 &mut self.cpu,
                 &mut self.mem,
-                self.program,
+                &self.decoded,
                 &mut self.candidates,
                 &self.config.profile,
                 &mut self.stats.interpreted,
@@ -393,12 +400,13 @@ impl<'p> Vm<'p> {
 /// bars of Figures 4, 6 and 8).
 ///
 /// Returns the exit condition and the number of instructions traced.
-pub fn trace_original(
+pub fn trace_original<S: TraceSink>(
     program: &Program,
     budget: u64,
-    sink: &mut dyn TraceSink,
+    sink: &mut S,
 ) -> (VmExit, u64) {
     use alpha_isa::{step, AlignPolicy, BranchOp, Control, Inst};
+    let decoded = DecodeCache::new(program);
     let (mut cpu, mut mem) = program.load();
     let mut count = 0u64;
     loop {
@@ -406,7 +414,7 @@ pub fn trace_original(
             return (VmExit::Budget, count);
         }
         let pc = cpu.pc;
-        let inst = match program.fetch(pc) {
+        let inst = match decoded.fetch(pc) {
             Ok(i) => i,
             Err(trap) => {
                 return (

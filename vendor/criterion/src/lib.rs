@@ -1,0 +1,233 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `criterion` cannot be fetched. This crate implements the API surface
+//! the workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`Throughput`], [`black_box`] and the
+//! `criterion_group!` / `criterion_main!` macros — measuring with a
+//! simple calibrated wall-clock loop and reporting ns/iter (plus
+//! elements/sec when a throughput is set).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`] (ignored by the mini
+/// implementation; every batch is one setup + one routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// The per-benchmark measurement driver passed to bench closures.
+pub struct Bencher {
+    target_time: Duration,
+    /// Measured nanoseconds per iteration, filled in by `iter*`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `routine` by running it in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that runs ~target_time.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_time || n >= 1 << 30 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            let factor = (self.target_time.as_nanos() as f64
+                / elapsed.as_nanos().max(1) as f64)
+                .clamp(2.0, 100.0);
+            n = ((n as f64) * factor).ceil() as u64;
+        }
+    }
+
+    /// Measures `routine` on fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut n: u64 = 1;
+        loop {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            if elapsed >= self.target_time || n >= 1 << 30 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            let factor = (self.target_time.as_nanos() as f64
+                / elapsed.as_nanos().max(1) as f64)
+                .clamp(2.0, 100.0);
+            n = ((n as f64) * factor).ceil() as u64;
+        }
+    }
+}
+
+fn report(id: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns / 1e9);
+            println!("{id:<40} {time:>12}/iter   {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns / 1e9) / (1 << 20) as f64;
+            println!("{id:<40} {time:>12}/iter   {rate:>14.1} MiB/s");
+        }
+        None => println!("{id:<40} {time:>12}/iter"),
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            target_time: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            target_time: self.target_time,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        report(id, b.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the mini harness is time-targeted,
+    /// not sample-counted.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            target_time: self.criterion.target_time,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+        };
+        c.bench_function("spin", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
