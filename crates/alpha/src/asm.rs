@@ -23,7 +23,7 @@
 //! ```
 
 use crate::encode::{encode, EncodeError};
-use crate::inst::{BranchOp, Inst, JumpKind, MemOp, OperateOp, Operand, PalFunc};
+use crate::inst::{BranchOp, Inst, JumpKind, MemOp, Operand, OperateOp, PalFunc};
 use crate::{Program, Reg};
 
 /// A code label, declared with [`Assembler::label`] and positioned with
@@ -56,7 +56,10 @@ impl std::fmt::Display for AsmError {
             AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
             AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
             AsmError::BranchOutOfRange { at, target } => {
-                write!(f, "branch at instruction {at} cannot reach label `{target}`")
+                write!(
+                    f,
+                    "branch at instruction {at} cannot reach label `{target}`"
+                )
             }
         }
     }
@@ -74,7 +77,11 @@ enum Slot {
     /// A fully-formed instruction.
     Done(Inst),
     /// A branch whose displacement awaits label resolution.
-    Branch { op: BranchOp, ra: Reg, target: Label },
+    Branch {
+        op: BranchOp,
+        ra: Reg,
+        target: Label,
+    },
 }
 
 /// Incremental program builder. See the module documentation for an
@@ -188,12 +195,22 @@ impl Assembler {
 
     /// `lda ra, disp(rb)`.
     pub fn lda(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Lda, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Lda,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// `ldah ra, disp(rb)`.
     pub fn ldah(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Ldah, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Ldah,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// Loads a small signed immediate: `lda ra, imm(r31)`.
@@ -216,48 +233,93 @@ impl Assembler {
 
     /// `ldbu ra, disp(rb)`.
     pub fn ldbu(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Ldbu, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Ldbu,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// `ldwu ra, disp(rb)`.
     pub fn ldwu(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Ldwu, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Ldwu,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// `ldl ra, disp(rb)`.
     pub fn ldl(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Ldl, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Ldl,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// `ldq ra, disp(rb)`.
     pub fn ldq(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Ldq, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Ldq,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// `stb ra, disp(rb)`.
     pub fn stb(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Stb, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Stb,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// `stw ra, disp(rb)`.
     pub fn stw(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Stw, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Stw,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// `stl ra, disp(rb)`.
     pub fn stl(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Stl, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Stl,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     /// `stq ra, disp(rb)`.
     pub fn stq(&mut self, ra: Reg, disp: i16, rb: Reg) {
-        self.inst(Inst::Mem { op: MemOp::Stq, ra, rb, disp });
+        self.inst(Inst::Mem {
+            op: MemOp::Stq,
+            ra,
+            rb,
+            disp,
+        });
     }
 
     // ---- operate format ----
 
     fn op3(&mut self, op: OperateOp, ra: Reg, rb: impl Into<Operand>, rc: Reg) {
-        self.inst(Inst::Operate { op, ra, rb: rb.into(), rc });
+        self.inst(Inst::Operate {
+            op,
+            ra,
+            rb: rb.into(),
+            rc,
+        });
     }
 
     /// `mov src, dst` (assembles as `bis src, src, dst`).
@@ -279,12 +341,22 @@ impl Assembler {
 
     /// `jmp ra, (rb)`.
     pub fn jmp(&mut self, ra: Reg, rb: Reg) {
-        self.inst(Inst::Jump { kind: JumpKind::Jmp, ra, rb, hint: 0 });
+        self.inst(Inst::Jump {
+            kind: JumpKind::Jmp,
+            ra,
+            rb,
+            hint: 0,
+        });
     }
 
     /// `jsr ra, (rb)`.
     pub fn jsr(&mut self, ra: Reg, rb: Reg) {
-        self.inst(Inst::Jump { kind: JumpKind::Jsr, ra, rb, hint: 0 });
+        self.inst(Inst::Jump {
+            kind: JumpKind::Jsr,
+            ra,
+            rb,
+            hint: 0,
+        });
     }
 
     /// `ret r31, (ra)` — standard return through `ra`.
@@ -299,17 +371,23 @@ impl Assembler {
 
     /// `call_pal halt`.
     pub fn halt(&mut self) {
-        self.inst(Inst::CallPal { func: PalFunc::Halt });
+        self.inst(Inst::CallPal {
+            func: PalFunc::Halt,
+        });
     }
 
     /// `call_pal gentrap`.
     pub fn gentrap(&mut self) {
-        self.inst(Inst::CallPal { func: PalFunc::GenTrap });
+        self.inst(Inst::CallPal {
+            func: PalFunc::GenTrap,
+        });
     }
 
     /// `call_pal putchar`.
     pub fn putchar(&mut self) {
-        self.inst(Inst::CallPal { func: PalFunc::PutChar });
+        self.inst(Inst::CallPal {
+            func: PalFunc::PutChar,
+        });
     }
 
     // ---- branch format ----
@@ -355,7 +433,11 @@ impl Assembler {
                             target: name.clone(),
                         });
                     }
-                    Inst::Branch { op: *op, ra: *ra, disp }
+                    Inst::Branch {
+                        op: *op,
+                        ra: *ra,
+                        disp,
+                    }
                 }
             };
             words.push(encode(inst)?);
@@ -580,7 +662,15 @@ mod tests {
 
     #[test]
     fn li32_materializes_values() {
-        for value in [0u32, 1, 0x8000, 0xffff, 0x1234_5678, 0xffff_ffff, 0x0001_8000] {
+        for value in [
+            0u32,
+            1,
+            0x8000,
+            0xffff,
+            0x1234_5678,
+            0xffff_ffff,
+            0x0001_8000,
+        ] {
             let mut asm = Assembler::new(0x1000);
             asm.li32(Reg::V0, value);
             asm.halt();

@@ -1,7 +1,7 @@
 //! Alpha instruction decoding (32-bit machine word → decoded form).
 
 use crate::encode::opcode;
-use crate::inst::{BranchOp, Inst, JumpKind, MemOp, OperateOp, Operand, PalFunc};
+use crate::inst::{BranchOp, Inst, JumpKind, MemOp, Operand, OperateOp, PalFunc};
 use crate::Reg;
 
 #[inline]
@@ -147,6 +147,12 @@ pub fn decode(word: u32) -> Option<Inst> {
         opcode::BNE => branch(BranchOp::Bne),
         opcode::BGE => branch(BranchOp::Bge),
         opcode::BGT => branch(BranchOp::Bgt),
+        // The floating-point extension: recognized but unimplemented.
+        // Decoding these as `Unimplemented` distinguishes the FP gap
+        // (ITFP/FLTV/FLTI/FLTL operates, FP loads/stores, FP branches)
+        // from genuinely reserved encodings, which still return `None`;
+        // executing one raises a precise illegal-instruction trap.
+        0x14..=0x17 | 0x20..=0x27 | 0x31..=0x33 | 0x35..=0x37 => Inst::Unimplemented { word },
         _ => return None,
     })
 }
@@ -159,7 +165,19 @@ mod tests {
     #[test]
     fn decode_rejects_unknown_primary_opcode() {
         assert_eq!(decode(0x04 << 26), None); // reserved opcode
-        assert_eq!(decode(0x20 << 26), None); // LDF (floating, unimplemented)
+        assert_eq!(decode(0x18 << 26), None); // MISC (memory barriers)
+    }
+
+    #[test]
+    fn floating_point_words_decode_to_unimplemented() {
+        // One representative from each FP opcode family: ADDT (FLTI),
+        // LDF, STT, FBEQ.
+        for opc in [0x16u32, 0x20, 0x27, 0x31] {
+            let word = opc << 26 | 0x1234;
+            assert_eq!(decode(word), Some(Inst::Unimplemented { word }));
+        }
+        // Reserved opcodes are still undecodable, not "unimplemented".
+        assert_eq!(decode(0x1c << 26), None);
     }
 
     #[test]

@@ -20,6 +20,7 @@ impl fmt::Display for Inst {
                 write!(f, "{} {ra}, {rb}, {rc}", op.mnemonic())
             }
             Inst::CallPal { func } => write!(f, "call_pal {:#x}", func.code()),
+            Inst::Unimplemented { word } => write!(f, ".unimpl {word:#010x}"),
         }
     }
 }
@@ -37,9 +38,7 @@ impl fmt::Display for Inst {
 pub fn disassemble(pc: u64, inst: Inst) -> String {
     match inst {
         Inst::Branch { op, ra, disp } => {
-            let target = pc
-                .wrapping_add(4)
-                .wrapping_add(((disp as i64) << 2) as u64);
+            let target = pc.wrapping_add(4).wrapping_add(((disp as i64) << 2) as u64);
             match op {
                 BranchOp::Br | BranchOp::Bsr => {
                     format!("{} {ra}, {target:#x}", op.mnemonic())
@@ -54,7 +53,7 @@ pub fn disassemble(pc: u64, inst: Inst) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MemOp, OperateOp, Operand, Reg};
+    use crate::{MemOp, Operand, OperateOp, Reg};
 
     #[test]
     fn display_forms() {

@@ -9,7 +9,7 @@
 //!   (or `lit[20:13] 1 func rc` with an 8-bit literal)
 //! * PALcode format: `0x00 func[25:0]`
 
-use crate::inst::{BranchOp, Inst, MemOp, OperateOp, Operand};
+use crate::inst::{BranchOp, Inst, MemOp, Operand, OperateOp};
 
 /// Primary opcode assignments for the implemented subset.
 pub(crate) mod opcode {
@@ -173,9 +173,7 @@ pub fn encode(inst: Inst) -> Result<u32, EncodeError> {
             if !(-(1 << 20)..(1 << 20)).contains(&disp) {
                 return Err(EncodeError::BranchDispOutOfRange { disp });
             }
-            (branch_opcode(op) << 26)
-                | ((ra.number() as u32) << 21)
-                | ((disp as u32) & 0x001f_ffff)
+            (branch_opcode(op) << 26) | ((ra.number() as u32) << 21) | ((disp as u32) & 0x001f_ffff)
         }
         Inst::Jump { kind, ra, rb, hint } => {
             (opcode::JMP_GROUP << 26)
@@ -186,7 +184,9 @@ pub fn encode(inst: Inst) -> Result<u32, EncodeError> {
         }
         Inst::Operate { op, ra, rb, rc } => {
             let (opc, func) = operate_codes(op);
-            let base = (opc << 26) | ((ra.number() as u32) << 21) | ((func & 0x7f) << 5)
+            let base = (opc << 26)
+                | ((ra.number() as u32) << 21)
+                | ((func & 0x7f) << 5)
                 | (rc.number() as u32);
             match rb {
                 Operand::Reg(r) => base | ((r.number() as u32) << 16),
@@ -194,6 +194,8 @@ pub fn encode(inst: Inst) -> Result<u32, EncodeError> {
             }
         }
         Inst::CallPal { func } => (opcode::CALL_PAL << 26) | (func.code() & 0x03ff_ffff),
+        // The variant carries its own machine word.
+        Inst::Unimplemented { word } => word,
     })
 }
 

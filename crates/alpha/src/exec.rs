@@ -80,7 +80,7 @@ pub enum AlignPolicy {
 }
 
 fn check_align(addr: u64, bytes: u8, policy: AlignPolicy) -> Result<(), Trap> {
-    if policy == AlignPolicy::Enforce && bytes > 1 && addr % bytes as u64 != 0 {
+    if policy == AlignPolicy::Enforce && bytes > 1 && !addr.is_multiple_of(bytes as u64) {
         return Err(Trap::UnalignedAccess {
             addr,
             required: bytes,
@@ -133,9 +133,7 @@ pub fn step(
             let base = cpu.read(rb);
             match op {
                 MemOp::Lda => cpu.write(ra, base.wrapping_add(disp as i64 as u64)),
-                MemOp::Ldah => {
-                    cpu.write(ra, base.wrapping_add(((disp as i64) << 16) as u64))
-                }
+                MemOp::Ldah => cpu.write(ra, base.wrapping_add(((disp as i64) << 16) as u64)),
                 _ => {
                     let addr = base.wrapping_add(disp as i64 as u64);
                     let bytes = op.access_bytes();
@@ -213,6 +211,7 @@ pub fn step(
             }
             PalFunc::Other(_) => {} // treated as NOP
         },
+        Inst::Unimplemented { word } => return Err(Trap::IllegalInstruction { word }),
     }
 
     cpu.pc = outcome.next_pc;
@@ -222,7 +221,7 @@ pub fn step(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{OperateOp, Operand};
+    use crate::{Operand, OperateOp};
 
     fn r(n: u8) -> Reg {
         Reg::new(n)
@@ -540,5 +539,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.output, Some(b'x'));
+    }
+    #[test]
+    fn unimplemented_traps_with_state_untouched() {
+        let (mut cpu, mut mem) = fresh();
+        cpu.write(r(1), 7);
+        let word = (0x16u32 << 26) | 0xabc; // FLTI-family encoding
+        let err = step(
+            &mut cpu,
+            &mut mem,
+            Inst::Unimplemented { word },
+            AlignPolicy::Enforce,
+        )
+        .unwrap_err();
+        assert_eq!(err, Trap::IllegalInstruction { word });
+        assert_eq!(cpu.pc, 0x1000, "PC must stay at the faulting instruction");
+        assert_eq!(cpu.read(r(1)), 7);
     }
 }

@@ -639,6 +639,15 @@ pub enum Inst {
         /// PAL function.
         func: PalFunc,
     },
+    /// A recognized but unimplemented extension (the floating-point
+    /// subset). Decodes so the front end can name the gap precisely;
+    /// executing it raises an illegal-instruction trap with all
+    /// architected state untouched, so it never retires and never enters
+    /// a superblock.
+    Unimplemented {
+        /// The raw machine word.
+        word: u32,
+    },
 }
 
 impl Inst {
@@ -711,7 +720,7 @@ impl Inst {
             },
             Inst::Jump { ra, .. } => ra,
             Inst::Operate { rc, .. } => rc,
-            Inst::CallPal { .. } => return None,
+            Inst::CallPal { .. } | Inst::Unimplemented { .. } => return None,
         };
         if d.is_zero() {
             None
@@ -758,6 +767,7 @@ impl Inst {
                     push(Reg::A0);
                 }
             }
+            Inst::Unimplemented { .. } => {}
         }
         out
     }
@@ -918,8 +928,14 @@ mod tests {
             OperateOp::Mskbl.eval(0xffff_ffff_ffff_ffff, 0),
             0xffff_ffff_ffff_ff00
         );
-        assert_eq!(OperateOp::Zapnot.eval(0x1122_3344_5566_7788, 0x0f), 0x5566_7788);
-        assert_eq!(OperateOp::Zap.eval(0x1122_3344_5566_7788, 0x0f), 0x1122_3344_0000_0000);
+        assert_eq!(
+            OperateOp::Zapnot.eval(0x1122_3344_5566_7788, 0x0f),
+            0x5566_7788
+        );
+        assert_eq!(
+            OperateOp::Zap.eval(0x1122_3344_5566_7788, 0x0f),
+            0x1122_3344_0000_0000
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl DecodeCache {
     /// Exactly those of [`Program::fetch`].
     #[inline]
     pub fn fetch(&self, pc: u64) -> Result<Inst, Trap> {
-        if pc % 4 != 0 || pc < self.base || pc >= self.end {
+        if !pc.is_multiple_of(4) || pc < self.base || pc >= self.end {
             return Err(Trap::AccessViolation { addr: pc });
         }
         self.insts[((pc - self.base) / 4) as usize]
@@ -147,9 +147,10 @@ pub fn run_to_halt(
     let mut stats = RunStats::default();
     while stats.instructions < budget {
         let pc = cpu.pc;
-        let inst = decoded.fetch(pc).map_err(|trap| RunError::Trapped { pc, trap })?;
-        let outcome =
-            step(cpu, mem, inst, align).map_err(|trap| RunError::Trapped { pc, trap })?;
+        let inst = decoded
+            .fetch(pc)
+            .map_err(|trap| RunError::Trapped { pc, trap })?;
+        let outcome = step(cpu, mem, inst, align).map_err(|trap| RunError::Trapped { pc, trap })?;
         stats.instructions += 1;
         if inst.is_load() {
             stats.loads += 1;

@@ -70,7 +70,7 @@ pub use decode::decode;
 pub use disasm::disassemble;
 pub use encode::{encode, EncodeError};
 pub use exec::{step, AlignPolicy, Control, MemAccess, Outcome};
-pub use inst::{BranchOp, Inst, JumpKind, MemOp, OperateOp, Operand, PalFunc, SourceRegs};
+pub use inst::{BranchOp, Inst, JumpKind, MemOp, Operand, OperateOp, PalFunc, SourceRegs};
 pub use interp::{run_to_halt, DecodeCache, RunError, RunStats};
 pub use mem::Memory;
 pub use parse::{parse_program, ParseError};

@@ -74,10 +74,8 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
     let t = tok.trim();
     if let Some(num) = t.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) {
-        return Reg::try_new(num).map_or_else(
-            || err(line, format!("register out of range: `{t}`")),
-            Ok,
-        );
+        return Reg::try_new(num)
+            .map_or_else(|| err(line, format!("register out of range: `{t}`")), Ok);
     }
     for r in Reg::all() {
         if r.conventional_name() == t {
@@ -158,7 +156,9 @@ impl Parser<'_> {
         for (ln, raw) in self.source.lines().enumerate() {
             let line = ln + 1;
             let text = strip_comment(raw);
-            let Some(rest) = text.strip_prefix('.') else { continue };
+            let Some(rest) = text.strip_prefix('.') else {
+                continue;
+            };
             let (dir, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
             match dir {
                 "bytes" | "quads" | "zero" => {
@@ -177,9 +177,7 @@ impl Parser<'_> {
                         "quads" => {
                             let mut out = Vec::new();
                             for q in payload.split_whitespace() {
-                                out.extend_from_slice(
-                                    &(parse_int(q, line)? as u64).to_le_bytes(),
-                                );
+                                out.extend_from_slice(&(parse_int(q, line)? as u64).to_le_bytes());
                             }
                             out
                         }

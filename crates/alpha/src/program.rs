@@ -129,7 +129,7 @@ impl Program {
 
     /// Whether `pc` lies inside the code segment (and is word-aligned).
     pub fn contains_pc(&self, pc: u64) -> bool {
-        pc % 4 == 0 && pc >= self.code_base && pc < self.code_end()
+        pc.is_multiple_of(4) && pc >= self.code_base && pc < self.code_end()
     }
 
     /// Fetches the machine word at `pc`.
@@ -220,10 +220,7 @@ mod tests {
         assert!(!p.contains_pc(0x1008));
         assert!(!p.contains_pc(0x1002));
         assert!(p.fetch(0x1000).is_ok());
-        assert_eq!(
-            p.fetch(0x0ffc),
-            Err(Trap::AccessViolation { addr: 0x0ffc })
-        );
+        assert_eq!(p.fetch(0x0ffc), Err(Trap::AccessViolation { addr: 0x0ffc }));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property tests: encode/decode round-tripping and semantic invariants.
 
 use alpha_isa::{
-    decode, encode, step, AlignPolicy, BranchOp, CpuState, Inst, JumpKind, MemOp, Memory,
-    OperateOp, Operand, PalFunc, Reg,
+    decode, encode, step, AlignPolicy, BranchOp, CpuState, Inst, JumpKind, MemOp, Memory, Operand,
+    OperateOp, PalFunc, Reg,
 };
 use proptest::prelude::*;
 
@@ -117,7 +117,10 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (
             arb_operate_op(),
             arb_reg(),
-            prop_oneof![arb_reg().prop_map(Operand::Reg), any::<u8>().prop_map(Operand::Lit)],
+            prop_oneof![
+                arb_reg().prop_map(Operand::Reg),
+                any::<u8>().prop_map(Operand::Lit)
+            ],
             arb_reg(),
         )
             .prop_map(|(op, ra, rb, rc)| Inst::Operate { op, ra, rb, rc }),

@@ -68,8 +68,8 @@ fn bench_translator(c: &mut Criterion) {
             form,
             chain: ChainPolicy::SwPredDualRas,
             acc_count: 4,
-        fuse_memory: false,
-    };
+            fuse_memory: false,
+        };
         c.bench_function(&format!("translate_40inst_{form:?}"), |b| {
             b.iter_batched(
                 || sb.clone(),

@@ -35,7 +35,11 @@ fn main() {
     let mut table = Table::new(
         "Ablation — fused displaced memory ops (paper §4.5)",
         &[
-            "exp M split", "exp M fused", "ipc M split", "ipc M fused", "ipc B split",
+            "exp M split",
+            "exp M fused",
+            "ipc M split",
+            "ipc M fused",
+            "ipc B split",
             "ipc B fused",
         ],
     );

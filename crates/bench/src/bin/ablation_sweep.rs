@@ -53,7 +53,10 @@ fn main() {
     )
     .precision(3);
     for w in suite(scale) {
-        let row: Vec<f64> = [5u32, 20, 50, 200].iter().map(|&t| run(&w, 200, t)).collect();
+        let row: Vec<f64> = [5u32, 20, 50, 200]
+            .iter()
+            .map(|&t| run(&w, 200, t))
+            .collect();
         thr_table.row(w.name, &row);
     }
     print!("{}", thr_table.render());

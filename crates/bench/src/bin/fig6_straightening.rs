@@ -14,12 +14,7 @@ fn main() {
     let scale = harness_scale();
     let mut table = Table::new(
         "Figure 6 — IPC: straightening and RAS",
-        &[
-            "orig.no_ras",
-            "orig.ras",
-            "straight.no_ras",
-            "straight.ras",
-        ],
+        &["orig.no_ras", "orig.ras", "straight.no_ras", "straight.ras"],
     );
     for w in suite(scale) {
         let o_no = run_original(&w, false).timing;

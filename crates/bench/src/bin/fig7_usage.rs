@@ -24,7 +24,7 @@ fn pct(stats: &ildp_core::VmStats, cats: &[UsageCat]) -> f64 {
 /// Static global share under oracle boundaries (no saves at side exits),
 /// the paper's [28] comparison point.
 fn oracle_global_pct(stats: &ildp_core::VmStats) -> f64 {
-    let total: u64 = stats.oracle_categories.values().sum();
+    let total = stats.oracle_categories.total();
     if total == 0 {
         return 0.0;
     }
@@ -32,7 +32,7 @@ fn oracle_global_pct(stats: &ildp_core::VmStats) -> f64 {
         .oracle_categories
         .iter()
         .filter(|(c, _)| c.is_global())
-        .map(|(_, n)| *n)
+        .map(|(_, n)| n)
         .sum();
     global as f64 * 100.0 / total as f64
 }

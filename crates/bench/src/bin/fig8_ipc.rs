@@ -18,7 +18,13 @@ fn main() {
     let scale = harness_scale();
     let mut table = Table::new(
         "Figure 8 — IPC comparison (V-ISA IPC; last column native I-ISA)",
-        &["original", "straightened", "ILDP basic", "ILDP modified", "native I-IPC"],
+        &[
+            "original",
+            "straightened",
+            "ILDP basic",
+            "ILDP modified",
+            "native I-IPC",
+        ],
     );
     for w in suite(scale) {
         let original = run_original(&w, true).timing;

@@ -2,14 +2,17 @@
 //!
 //! Runs the whole workload suite under the functional engine (no timing
 //! model, `NullSink`) and emits a machine-readable JSON report — guest
-//! (V-ISA) instructions per second, dispatch counts, dual-RAS hit rate —
-//! so successive PRs have a perf trajectory to compare against.
+//! (V-ISA) instructions per second, dispatch counts, dual-RAS hit rate,
+//! and the install-time translation-validator overhead (fragments
+//! verified per second) — so successive PRs have a perf trajectory to
+//! compare against.
 //!
 //! Usage: `cargo run --release -p ildp-bench --bin perfstat [-- <out.json>]`
 //! (`ILDP_SCALE` scales the workloads, default 30; `PERFSTAT_REPS`
 //! repetitions per workload, default 3.)
 
 use ildp_core::{ChainPolicy, NullSink, Translator, Vm, VmConfig, VmExit};
+use ildp_verifier::{collecting_validator, take_report};
 use spec_workloads::suite;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,6 +28,8 @@ struct Row {
     ras_misses: u64,
     fragment_entries: u64,
     fragments: u64,
+    fragments_verified: u64,
+    verify_nanos: u64,
 }
 
 fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
@@ -33,6 +38,7 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
             chain: ChainPolicy::SwPredDualRas,
             ..Translator::default()
         },
+        validator: Some(collecting_validator),
         ..VmConfig::default()
     };
     let mut row = Row {
@@ -46,6 +52,8 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
         ras_misses: 0,
         fragment_entries: 0,
         fragments: 0,
+        fragments_verified: 0,
+        verify_nanos: 0,
     };
     for _ in 0..reps {
         let mut vm = Vm::new(config, &w.program);
@@ -67,6 +75,15 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
         row.ras_misses += s.engine.ras_misses;
         row.fragment_entries += s.engine.fragment_entries;
         row.fragments += s.fragments;
+        row.fragments_verified += s.fragments_verified;
+        row.verify_nanos += s.verify_nanos;
+        let violations = take_report();
+        assert!(
+            violations.is_empty(),
+            "{}: {} verifier violations during a perf run",
+            w.name,
+            violations.len()
+        );
     }
     row
 }
@@ -92,6 +109,9 @@ fn main() {
     let total_misses: u64 = rows.iter().map(|r| r.ras_misses).sum();
     let agg_ips = total_v as f64 / total_wall.max(1e-9);
     let ras_rate = total_hits as f64 / (total_hits + total_misses).max(1) as f64;
+    let total_verified: u64 = rows.iter().map(|r| r.fragments_verified).sum();
+    let verify_wall: f64 = rows.iter().map(|r| r.verify_nanos).sum::<u64>() as f64 * 1e-9;
+    let verified_per_s = total_verified as f64 / verify_wall.max(1e-9);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -103,6 +123,9 @@ fn main() {
     let _ = writeln!(json, "  \"total_guest_insts\": {total_v},");
     let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.4},");
     let _ = writeln!(json, "  \"ras_hit_rate\": {ras_rate:.4},");
+    let _ = writeln!(json, "  \"fragments_verified\": {total_verified},");
+    let _ = writeln!(json, "  \"verify_wall_seconds\": {verify_wall:.6},");
+    let _ = writeln!(json, "  \"fragments_verified_per_s\": {verified_per_s:.0},");
     let _ = writeln!(json, "  \"workloads\": [");
     for (k, r) in rows.iter().enumerate() {
         let ips = r.v_insts as f64 / r.wall_s.max(1e-9);
@@ -113,6 +136,7 @@ fn main() {
              \"v_insts\": {}, \"executed\": {}, \"interpreted\": {}, \
              \"dispatches\": {}, \"ras_hits\": {}, \"ras_misses\": {}, \
              \"fragment_entries\": {}, \"fragments\": {}, \
+             \"fragments_verified\": {}, \"verify_wall_seconds\": {:.6}, \
              \"wall_seconds\": {:.4}}}{comma}",
             r.name,
             r.v_insts,
@@ -123,6 +147,8 @@ fn main() {
             r.ras_misses,
             r.fragment_entries,
             r.fragments,
+            r.fragments_verified,
+            r.verify_nanos as f64 * 1e-9,
             r.wall_s,
         );
     }

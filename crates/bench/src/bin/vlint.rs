@@ -1,0 +1,80 @@
+//! `vlint` — translation-validation lint over the full workload suite.
+//!
+//! Runs every workload under every (chain policy × ISA form)
+//! configuration with the verifier's collecting validator installed, so
+//! every translated fragment is checked by all four static passes at
+//! install time; after each run the installed (patched, linked)
+//! fragments are audited again against the cache. Prints a per-cell
+//! summary and exits non-zero if any fragment violates any rule.
+//!
+//! Usage: `cargo run --release -p ildp-bench --bin vlint`
+//! (`ILDP_SCALE` scales the workloads, default 10.)
+
+use ildp_bench::harness_scale;
+use ildp_core::{ChainPolicy, NullSink, Translator, Vm, VmConfig, VmExit};
+use ildp_isa::IsaForm;
+use ildp_verifier::{take_report, verify_installed, Violation};
+use spec_workloads::suite;
+
+fn main() {
+    let scale = harness_scale();
+    let suite = suite(scale);
+    let chains = [
+        ChainPolicy::NoPred,
+        ChainPolicy::SwPred,
+        ChainPolicy::SwPredDualRas,
+    ];
+    let forms = [IsaForm::Basic, IsaForm::Modified];
+
+    let mut total_fragments = 0u64;
+    let mut total_violations = 0usize;
+
+    for w in &suite {
+        for &form in &forms {
+            for &chain in &chains {
+                let config = VmConfig {
+                    translator: Translator {
+                        form,
+                        chain,
+                        acc_count: 4,
+                        fuse_memory: false,
+                    },
+                    validator: Some(ildp_verifier::collecting_validator),
+                    ..VmConfig::default()
+                };
+                let mut vm = Vm::new(config, &w.program);
+                let exit = vm.run(w.budget * 2, &mut NullSink);
+                if let VmExit::Trapped { vaddr, trap, .. } = exit {
+                    panic!("{}: unexpected trap at {vaddr:#x}: {trap}", w.name);
+                }
+                let mut violations: Vec<Violation> = take_report();
+                let cache = vm.cache();
+                for frag in cache.fragments() {
+                    violations.extend(verify_installed(cache, frag));
+                }
+                let fragments = vm.stats().fragments_verified;
+                total_fragments += fragments;
+                total_violations += violations.len();
+                println!(
+                    "{:<10} {:>8} {:<14} {:>4} fragments  {:>3} violations",
+                    w.name,
+                    format!("{form:?}").to_lowercase(),
+                    chain.label(),
+                    fragments,
+                    violations.len(),
+                );
+                for v in &violations {
+                    println!("    {v}");
+                }
+            }
+        }
+    }
+
+    println!(
+        "\nvlint: {total_fragments} fragment translations checked, \
+         {total_violations} violations"
+    );
+    if total_violations > 0 {
+        std::process::exit(1);
+    }
+}

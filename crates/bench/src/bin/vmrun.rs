@@ -10,11 +10,13 @@
 //! ```
 
 use ildp_core::{
-    ChainPolicy, FlushPolicy, NullSink, ProfileConfig, StraightenedVm, Translator, Vm,
-    VmConfig, VmExit,
+    ChainPolicy, FlushPolicy, NullSink, ProfileConfig, StraightenedVm, Translator, Vm, VmConfig,
+    VmExit,
 };
 use ildp_isa::IsaForm;
-use ildp_uarch::{IldpConfig, IldpModel, SuperscalarModel, SuperscalarConfig, TimingModel, TimingStats};
+use ildp_uarch::{
+    IldpConfig, IldpModel, SuperscalarConfig, SuperscalarModel, TimingModel, TimingStats,
+};
 use spec_workloads::by_name;
 
 struct Options {
@@ -57,10 +59,12 @@ fn parse() -> Options {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("missing value for {name}");
-            usage()
-        });
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--list" => {
                 for n in spec_workloads::NAMES {
@@ -123,7 +127,11 @@ fn print_timing(stats: &TimingStats) {
     println!("cycles                : {}", stats.cycles);
     println!("instructions          : {}", stats.instructions);
     println!("V-ISA instructions    : {}", stats.v_instructions);
-    println!("IPC (native / V-ISA)  : {:.3} / {:.3}", stats.ipc(), stats.v_ipc());
+    println!(
+        "IPC (native / V-ISA)  : {:.3} / {:.3}",
+        stats.ipc(),
+        stats.v_ipc()
+    );
     println!(
         "mispredicts/1k V-inst : {:.2} (cond {}, indirect {}, return {})",
         stats.mispredicts_per_kilo_v_inst(),
@@ -140,10 +148,7 @@ fn print_timing(stats: &TimingStats) {
 fn main() {
     let opts = parse();
     let Some(w) = by_name(&opts.workload, opts.scale) else {
-        eprintln!(
-            "unknown workload `{}`; try --list",
-            opts.workload
-        );
+        eprintln!("unknown workload `{}`; try --list", opts.workload);
         std::process::exit(2);
     };
 
@@ -154,7 +159,10 @@ fn main() {
         println!("exit                  : {exit:?}");
         let s = vm.stats();
         println!("fragments             : {}", s.fragments);
-        println!("relative inst count   : {:.3}", s.relative_instruction_count());
+        println!(
+            "relative inst count   : {:.3}",
+            s.relative_instruction_count()
+        );
         println!("dual-RAS hits/misses  : {}/{}", s.ras_hits, s.ras_misses);
         print_timing(&model.finish());
         return;
@@ -195,17 +203,30 @@ fn main() {
     println!("exit                  : {exit:?}");
     let s = vm.stats();
     println!("--- DBT ---");
-    println!("fragments             : {} ({} flushes)", s.fragments, s.cache_flushes);
+    println!(
+        "fragments             : {} ({} flushes)",
+        s.fragments, s.cache_flushes
+    );
     println!("interpreted           : {}", s.interpreted);
     println!("translated V-insts    : {}", s.engine.v_insts);
-    println!("executed I-insts      : {} ({:.2}x expansion)", s.engine.executed, s.dynamic_expansion());
+    println!(
+        "executed I-insts      : {} ({:.2}x expansion)",
+        s.engine.executed,
+        s.dynamic_expansion()
+    );
     println!("copies                : {:.1}%", s.copy_pct());
     println!("chain instructions    : {}", s.engine.chain_executed);
     println!("dispatches            : {}", s.engine.dispatches);
-    println!("arch dual-RAS         : {} hits / {} misses", s.engine.ras_hits, s.engine.ras_misses);
+    println!(
+        "arch dual-RAS         : {} hits / {} misses",
+        s.engine.ras_hits, s.engine.ras_misses
+    );
     println!("strands / terminations: {} / {}", s.strands, s.terminations);
     println!("static code ratio     : {:.2}x", s.static_code_ratio());
-    println!("DBT overhead          : {:.0} insts per translated inst", s.overhead_per_translated_inst());
+    println!(
+        "DBT overhead          : {:.0} insts per translated inst",
+        s.overhead_per_translated_inst()
+    );
     if let Some(t) = timing {
         print_timing(&t);
         if let Some(util) = pe_utilization {

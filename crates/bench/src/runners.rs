@@ -1,8 +1,8 @@
 //! Experiment runners: one function per simulated configuration.
 
 use ildp_core::{
-    trace_original, ChainPolicy, ProfileConfig, StraightenStats, StraightenedVm, Translator,
-    Vm, VmConfig, VmExit, VmStats,
+    trace_original, ChainPolicy, ProfileConfig, StraightenStats, StraightenedVm, Translator, Vm,
+    VmConfig, VmExit, VmStats,
 };
 use ildp_isa::IsaForm;
 use ildp_uarch::{

@@ -6,9 +6,7 @@
 //! last counter. This pins the invariant that tracing is a pure
 //! observer: compiling it out changes nothing but wall-clock time.
 
-use ildp_core::{
-    ChainPolicy, EngineStats, NullSink, TraceSink, Translator, Vm, VmConfig, VmExit,
-};
+use ildp_core::{ChainPolicy, EngineStats, NullSink, TraceSink, Translator, Vm, VmConfig, VmExit};
 use ildp_isa::IsaForm;
 use ildp_uarch::DynInst;
 use spec_workloads::suite;
@@ -50,11 +48,18 @@ fn config(form: IsaForm) -> VmConfig {
     }
 }
 
-fn run_traced(w: &spec_workloads::Workload, form: IsaForm) -> (VmExit, [u64; 32], Vec<u8>, EngineStats, u64) {
+fn run_traced(
+    w: &spec_workloads::Workload,
+    form: IsaForm,
+) -> (VmExit, [u64; 32], Vec<u8>, EngineStats, u64) {
     let mut vm = Vm::new(config(form), &w.program);
     let mut sink = HashingSink::default();
     let exit = vm.run(w.budget * 2, &mut sink);
-    assert!(sink.records > 0, "{}: traced run retired no records", w.name);
+    assert!(
+        sink.records > 0,
+        "{}: traced run retired no records",
+        w.name
+    );
     (
         exit,
         vm.cpu().registers(),
@@ -64,7 +69,10 @@ fn run_traced(w: &spec_workloads::Workload, form: IsaForm) -> (VmExit, [u64; 32]
     )
 }
 
-fn run_untraced(w: &spec_workloads::Workload, form: IsaForm) -> (VmExit, [u64; 32], Vec<u8>, EngineStats) {
+fn run_untraced(
+    w: &spec_workloads::Workload,
+    form: IsaForm,
+) -> (VmExit, [u64; 32], Vec<u8>, EngineStats) {
     let mut vm = Vm::new(config(form), &w.program);
     let exit = vm.run(w.budget * 2, &mut NullSink);
     (
@@ -82,9 +90,17 @@ fn traced_and_untraced_runs_are_observationally_identical() {
             let (t_exit, t_regs, t_out, t_stats, records) = run_traced(&w, form);
             let (u_exit, u_regs, u_out, u_stats) = run_untraced(&w, form);
             assert_eq!(t_exit, u_exit, "{}/{form:?}: exit diverged", w.name);
-            assert_eq!(t_regs, u_regs, "{}/{form:?}: final registers diverged", w.name);
+            assert_eq!(
+                t_regs, u_regs,
+                "{}/{form:?}: final registers diverged",
+                w.name
+            );
             assert_eq!(t_out, u_out, "{}/{form:?}: console output diverged", w.name);
-            assert_eq!(t_stats, u_stats, "{}/{form:?}: engine stats diverged", w.name);
+            assert_eq!(
+                t_stats, u_stats,
+                "{}/{form:?}: engine stats diverged",
+                w.name
+            );
             // The traced run must retire at least one record per executed
             // engine instruction (dispatch expansion adds more).
             assert!(
@@ -107,5 +123,8 @@ fn tracing_is_deterministic() {
         vm.run(w.budget * 2, &mut sink);
         hashes.push((sink.records, sink.fnv));
     }
-    assert_eq!(hashes[0], hashes[1], "trace stream varied across identical runs");
+    assert_eq!(
+        hashes[0], hashes[1],
+        "trace stream varied across identical runs"
+    );
 }

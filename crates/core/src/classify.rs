@@ -101,6 +101,42 @@ impl UsageCat {
     }
 }
 
+/// Value counts per usage category, backed by a [`UsageCat::index`]-indexed
+/// array — one representation shared by the static (per-superblock) and
+/// dynamic ([`crate::EngineStats`]) sides of the Figure 7 statistic, with no
+/// per-superblock allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CategoryCounts(pub [u64; UsageCat::COUNT]);
+
+impl CategoryCounts {
+    /// Increments the count for `cat`.
+    pub fn bump(&mut self, cat: UsageCat) {
+        self.0[cat.index()] += 1;
+    }
+
+    /// The count for one category.
+    pub fn category(&self, cat: UsageCat) -> u64 {
+        self.0[cat.index()]
+    }
+
+    /// Total values counted across all categories.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Iterates `(category, count)` pairs in [`UsageCat::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (UsageCat, u64)> + '_ {
+        UsageCat::ALL.iter().map(move |&c| (c, self.0[c.index()]))
+    }
+
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &CategoryCounts) {
+        for k in 0..UsageCat::COUNT {
+            self.0[k] += other.0[k];
+        }
+    }
+}
+
 /// A resolved input operand: where the value a node reads actually comes
 /// from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -160,10 +196,10 @@ impl Dataflow {
 
     /// Counts values per category (the Fig. 7 statistic, static form;
     /// the VM weights these by execution counts for the dynamic figure).
-    pub fn category_counts(&self) -> HashMap<UsageCat, u64> {
-        let mut out = HashMap::new();
+    pub fn category_counts(&self) -> CategoryCounts {
+        let mut out = CategoryCounts::default();
         for v in &self.values {
-            *out.entry(v.category).or_insert(0) += 1;
+            out.bump(v.category);
         }
         out
     }
@@ -265,7 +301,7 @@ fn analyze_with(nodes: &[Node], oracle: bool) -> Dataflow {
         !oracle
             && exit_positions
                 .iter()
-                .any(|&e| e > lo && hi_excl.map_or(true, |h| e < h))
+                .any(|&e| e > lo && hi_excl.is_none_or(|h| e < h))
     };
 
     // Classify (paper §3.3 usage categories).
@@ -303,7 +339,7 @@ fn analyze_with(nodes: &[Node], oracle: bool) -> Dataflow {
 mod tests {
     use super::*;
     use crate::superblock::{decompose, CollectedFlow, SbEnd, SbInst, Superblock};
-    use alpha_isa::{BranchOp, Inst, MemOp, OperateOp, Operand};
+    use alpha_isa::{BranchOp, Inst, MemOp, Operand, OperateOp};
 
     fn r(n: u8) -> Reg {
         Reg::new(n)
@@ -451,8 +487,9 @@ mod tests {
             None,
         );
         let counts = df.category_counts();
-        let total: u64 = counts.values().sum();
-        assert_eq!(total, df.values.len() as u64);
+        assert_eq!(counts.total(), df.values.len() as u64);
+        let itemized: u64 = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(itemized, counts.total());
     }
 
     #[test]

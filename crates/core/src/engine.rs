@@ -10,8 +10,8 @@
 //! by merging accumulator-resident architected values from the fragment's
 //! recovery tables (paper §2.2).
 
+use crate::classify::{CategoryCounts, UsageCat};
 use crate::fragment::{FragmentId, TranslationCache, DISPATCH_COST_INSTS, DISPATCH_IADDR};
-use crate::classify::UsageCat;
 use alpha_isa::{AlignPolicy, CpuState, JumpKind, Memory, Reg, Trap};
 use ildp_isa::{ASrc, Acc, IInst, ITarget, MemWidth};
 use ildp_uarch::{DynInst, InstClass};
@@ -86,9 +86,9 @@ pub struct EngineStats {
     pub copies_executed: u64,
     /// V-ISA instructions retired by translated code.
     pub v_insts: u64,
-    /// Dynamic usage-category counts (Figure 7), indexed by
-    /// [`UsageCat::index`].
-    pub categories: [u64; UsageCat::COUNT],
+    /// Dynamic usage-category counts (Figure 7), array-backed and shared
+    /// with the static side via [`CategoryCounts`].
+    pub categories: CategoryCounts,
     /// Shared-dispatch executions.
     pub dispatches: u64,
     /// Architectural dual-RAS predictions that matched.
@@ -102,12 +102,12 @@ pub struct EngineStats {
 impl EngineStats {
     /// Dynamic count for one usage category.
     pub fn category(&self, cat: UsageCat) -> u64 {
-        self.categories[cat.index()]
+        self.categories.category(cat)
     }
 
     /// Total classified values retired (the Figure 7 denominator).
     pub fn categories_total(&self) -> u64 {
-        self.categories.iter().sum()
+        self.categories.total()
     }
 }
 
@@ -305,290 +305,321 @@ impl Engine {
             let templates = frag.templates.as_slice();
             let mut idx: usize = 0;
             loop {
-            if self.stats.v_insts >= budget_v {
-                return FragExit::Budget;
-            }
-            debug_assert!(idx < insts.len(), "fragment fell off its end");
-            let inst = insts[idx];
-            let meta = metas[idx];
-            let link = links[idx];
+                if self.stats.v_insts >= budget_v {
+                    return FragExit::Budget;
+                }
+                debug_assert!(idx < insts.len(), "fragment fell off its end");
+                let inst = insts[idx];
+                let meta = metas[idx];
+                let link = links[idx];
 
-            // The install-time template carries every static record field;
-            // only dynamic outcomes (taken, mem_addr, v_target, the taken
-            // next_pc) are patched below.
-            let mut d = if S::TRACING {
-                templates[idx]
-            } else {
-                DynInst::alu(0, 0)
-            };
+                // The install-time template carries every static record field;
+                // only dynamic outcomes (taken, mem_addr, v_target, the taken
+                // next_pc) are patched below.
+                let mut d = if S::TRACING {
+                    templates[idx]
+                } else {
+                    DynInst::alu(0, 0)
+                };
 
-            self.stats.executed += 1;
-            self.stats.v_insts += meta.vcount as u64;
-            if meta.is_chain {
-                self.stats.chain_executed += 1;
-            }
-            if let Some(cat) = meta.category {
-                self.stats.categories[cat.index()] += 1;
-            }
+                self.stats.executed += 1;
+                self.stats.v_insts += meta.vcount as u64;
+                if meta.is_chain {
+                    self.stats.chain_executed += 1;
+                }
+                if let Some(cat) = meta.category {
+                    self.stats.categories.bump(cat);
+                }
 
-            // Control decision made while executing; `None` means fall
-            // through to idx + 1.
-            let mut goto: Option<FragmentId> = None;
-            let mut exit: Option<FragExit> = None;
+                // Control decision made while executing; `None` means fall
+                // through to idx + 1.
+                let mut goto: Option<FragmentId> = None;
+                let mut exit: Option<FragExit> = None;
 
-            match inst {
-                IInst::Op { op, acc, lhs, rhs, dst } => {
-                    let a = self.val(lhs, acc, cpu);
-                    let b = self.val(rhs, acc, cpu);
-                    let result = if op.is_cmov() {
-                        // Defensive: cmov ops in Op form select against the
-                        // current accumulator value.
-                        if op.cmov_taken(a) {
-                            b
+                match inst {
+                    IInst::Op {
+                        op,
+                        acc,
+                        lhs,
+                        rhs,
+                        dst,
+                    } => {
+                        let a = self.val(lhs, acc, cpu);
+                        let b = self.val(rhs, acc, cpu);
+                        let result = if op.is_cmov() {
+                            // Defensive: cmov ops in Op form select against the
+                            // current accumulator value.
+                            if op.cmov_taken(a) {
+                                b
+                            } else {
+                                self.accs[acc.index()]
+                            }
                         } else {
-                            self.accs[acc.index()]
+                            op.eval(a, b)
+                        };
+                        self.accs[acc.index()] = result;
+                        if let Some(r) = dst {
+                            cpu.write(r, result);
                         }
-                    } else {
-                        op.eval(a, b)
-                    };
-                    self.accs[acc.index()] = result;
-                    if let Some(r) = dst {
-                        cpu.write(r, result);
                     }
-                }
-                IInst::AddHigh { acc, src, imm, dst } => {
-                    let base = self.val(src, acc, cpu);
-                    let result = base.wrapping_add(((imm as i64) << 16) as u64);
-                    self.accs[acc.index()] = result;
-                    if let Some(r) = dst {
-                        cpu.write(r, result);
-                    }
-                }
-                IInst::CmovSelect { acc, lbs, value, old, dst } => {
-                    let test = self.accs[acc.index()];
-                    let taken = (test & 1 == 1) == lbs;
-                    let result = if taken {
-                        self.val(value, acc, cpu)
-                    } else {
-                        cpu.read(old)
-                    };
-                    self.accs[acc.index()] = result;
-                    if let Some(r) = dst {
-                        cpu.write(r, result);
-                    }
-                }
-                IInst::Load { acc, width, addr, disp, dst } => {
-                    let a = self
-                        .val(addr, acc, cpu)
-                        .wrapping_add(disp as i64 as u64);
-                    match check_align(a, width, self.config.align) {
-                        Err(trap) => {
-                            exit = Some(FragExit::Trap {
-                                vaddr: meta.vaddr,
-                                trap,
-                                state: self.recover_state(cache, fid, idx as u32, cpu),
-                            });
+                    IInst::AddHigh { acc, src, imm, dst } => {
+                        let base = self.val(src, acc, cpu);
+                        let result = base.wrapping_add(((imm as i64) << 16) as u64);
+                        self.accs[acc.index()] = result;
+                        if let Some(r) = dst {
+                            cpu.write(r, result);
                         }
-                        Ok(()) => {
-                            if S::TRACING {
-                                d.mem_addr = Some(a);
+                    }
+                    IInst::CmovSelect {
+                        acc,
+                        lbs,
+                        value,
+                        old,
+                        dst,
+                    } => {
+                        let test = self.accs[acc.index()];
+                        let taken = (test & 1 == 1) == lbs;
+                        let result = if taken {
+                            self.val(value, acc, cpu)
+                        } else {
+                            cpu.read(old)
+                        };
+                        self.accs[acc.index()] = result;
+                        if let Some(r) = dst {
+                            cpu.write(r, result);
+                        }
+                    }
+                    IInst::Load {
+                        acc,
+                        width,
+                        addr,
+                        disp,
+                        dst,
+                    } => {
+                        let a = self.val(addr, acc, cpu).wrapping_add(disp as i64 as u64);
+                        match check_align(a, width, self.config.align) {
+                            Err(trap) => {
+                                exit = Some(FragExit::Trap {
+                                    vaddr: meta.vaddr,
+                                    trap,
+                                    state: self.recover_state(cache, fid, idx as u32, cpu),
+                                });
                             }
-                            let v = match width {
-                                MemWidth::U8 => mem.read_u8(a) as u64,
-                                MemWidth::U16 => mem.read_u16(a) as u64,
-                                MemWidth::I32 => mem.read_u32(a) as i32 as i64 as u64,
-                                MemWidth::U64 => mem.read_u64(a),
-                            };
-                            self.accs[acc.index()] = v;
-                            if let Some(r) = dst {
-                                cpu.write(r, v);
-                            }
-                        }
-                    }
-                }
-                IInst::Store { acc, width, addr, disp, value } => {
-                    let a = self
-                        .val(addr, acc, cpu)
-                        .wrapping_add(disp as i64 as u64);
-                    match check_align(a, width, self.config.align) {
-                        Err(trap) => {
-                            exit = Some(FragExit::Trap {
-                                vaddr: meta.vaddr,
-                                trap,
-                                state: self.recover_state(cache, fid, idx as u32, cpu),
-                            });
-                        }
-                        Ok(()) => {
-                            if S::TRACING {
-                                d.mem_addr = Some(a);
-                            }
-                            let v = self.val(value, acc, cpu);
-                            match width {
-                                MemWidth::U8 => mem.write_u8(a, v as u8),
-                                MemWidth::U16 => mem.write_u16(a, v as u16),
-                                MemWidth::I32 => mem.write_u32(a, v as u32),
-                                MemWidth::U64 => mem.write_u64(a, v),
+                            Ok(()) => {
+                                if S::TRACING {
+                                    d.mem_addr = Some(a);
+                                }
+                                let v = match width {
+                                    MemWidth::U8 => mem.read_u8(a) as u64,
+                                    MemWidth::U16 => mem.read_u16(a) as u64,
+                                    MemWidth::I32 => mem.read_u32(a) as i32 as i64 as u64,
+                                    MemWidth::U64 => mem.read_u64(a),
+                                };
+                                self.accs[acc.index()] = v;
+                                if let Some(r) = dst {
+                                    cpu.write(r, v);
+                                }
                             }
                         }
                     }
-                }
-                IInst::CopyToGpr { acc, dst } => {
-                    self.stats.copies_executed += 1;
-                    cpu.write(dst, self.accs[acc.index()]);
-                }
-                IInst::CopyFromGpr { acc, src } => {
-                    self.stats.copies_executed += 1;
-                    self.accs[acc.index()] = cpu.read(src);
-                }
-                IInst::CondBranch { acc, cond, src, target } => {
-                    let taken = cond.eval(self.val(src, acc, cpu));
-                    if taken {
-                        if S::TRACING {
-                            d.taken = true;
-                            let ITarget::Addr(a) = target else {
-                                panic!("unresolved local branch target")
-                            };
-                            d.next_pc = a;
+                    IInst::Store {
+                        acc,
+                        width,
+                        addr,
+                        disp,
+                        value,
+                    } => {
+                        let a = self.val(addr, acc, cpu).wrapping_add(disp as i64 as u64);
+                        match check_align(a, width, self.config.align) {
+                            Err(trap) => {
+                                exit = Some(FragExit::Trap {
+                                    vaddr: meta.vaddr,
+                                    trap,
+                                    state: self.recover_state(cache, fid, idx as u32, cpu),
+                                });
+                            }
+                            Ok(()) => {
+                                if S::TRACING {
+                                    d.mem_addr = Some(a);
+                                }
+                                let v = self.val(value, acc, cpu);
+                                match width {
+                                    MemWidth::U8 => mem.write_u8(a, v as u8),
+                                    MemWidth::U16 => mem.write_u16(a, v as u16),
+                                    MemWidth::I32 => mem.write_u32(a, v as u32),
+                                    MemWidth::U64 => mem.write_u64(a, v),
+                                }
+                            }
                         }
-                        goto = Some(resolve_link(link, target));
                     }
-                }
-                IInst::Branch { target } => {
-                    // class, taken and next_pc are static — already in the
-                    // template.
-                    goto = Some(resolve_link(link, target));
-                }
-                IInst::IndirectJump { acc, kind, addr } => {
-                    debug_assert_eq!(kind, JumpKind::Ret, "only returns reach the engine");
-                    let actual_v = self.val(addr, acc, cpu) & !3u64;
-                    if S::TRACING {
-                        d.v_target = actual_v;
+                    IInst::CopyToGpr { acc, dst } => {
+                        self.stats.copies_executed += 1;
+                        cpu.write(dst, self.accs[acc.index()]);
                     }
-                    match self.ras_pop() {
-                        Some(e) if e.v == actual_v => {
-                            self.stats.ras_hits += 1;
+                    IInst::CopyFromGpr { acc, src } => {
+                        self.stats.copies_executed += 1;
+                        self.accs[acc.index()] = cpu.read(src);
+                    }
+                    IInst::CondBranch {
+                        acc,
+                        cond,
+                        src,
+                        target,
+                    } => {
+                        let taken = cond.eval(self.val(src, acc, cpu));
+                        if taken {
                             if S::TRACING {
                                 d.taken = true;
-                                d.next_pc = e.i;
+                                let ITarget::Addr(a) = target else {
+                                    panic!("unresolved local branch target")
+                                };
+                                d.next_pc = a;
                             }
-                            // The direct link is valid only within the epoch
-                            // it was captured in: a stale link (the cache was
-                            // flushed since the push) and an unresolved push
-                            // (no link) both go through dispatch,
-                            // architecturally correct either way.
-                            match e.link.filter(|_| e.epoch == cache.epoch()) {
-                                Some(t) => goto = Some(t),
-                                None => {
-                                    if S::TRACING {
-                                        sink.retire(&d);
-                                    }
-                                    let target = cache.lookup(actual_v);
-                                    let ti = target
-                                        .map(|t| cache.fragment(t).istart);
-                                    self.run_dispatch(actual_v, ti, sink);
-                                    match target {
-                                        Some(t) => {
-                                            fid = t;
-                                            continue 'fragment;
+                            goto = Some(resolve_link(link, target));
+                        }
+                    }
+                    IInst::Branch { target } => {
+                        // class, taken and next_pc are static — already in the
+                        // template.
+                        goto = Some(resolve_link(link, target));
+                    }
+                    IInst::IndirectJump { acc, kind, addr } => {
+                        debug_assert_eq!(kind, JumpKind::Ret, "only returns reach the engine");
+                        let actual_v = self.val(addr, acc, cpu) & !3u64;
+                        if S::TRACING {
+                            d.v_target = actual_v;
+                        }
+                        match self.ras_pop() {
+                            Some(e) if e.v == actual_v => {
+                                self.stats.ras_hits += 1;
+                                if S::TRACING {
+                                    d.taken = true;
+                                    d.next_pc = e.i;
+                                }
+                                // The direct link is valid only within the epoch
+                                // it was captured in: a stale link (the cache was
+                                // flushed since the push) and an unresolved push
+                                // (no link) both go through dispatch,
+                                // architecturally correct either way.
+                                match e.link.filter(|_| e.epoch == cache.epoch()) {
+                                    Some(t) => goto = Some(t),
+                                    None => {
+                                        if S::TRACING {
+                                            sink.retire(&d);
                                         }
-                                        None => {
-                                            return FragExit::NotTranslated { vtarget: actual_v }
+                                        let target = cache.lookup(actual_v);
+                                        let ti = target.map(|t| cache.fragment(t).istart);
+                                        self.run_dispatch(actual_v, ti, sink);
+                                        match target {
+                                            Some(t) => {
+                                                fid = t;
+                                                continue 'fragment;
+                                            }
+                                            None => {
+                                                return FragExit::NotTranslated {
+                                                    vtarget: actual_v,
+                                                }
+                                            }
                                         }
                                     }
                                 }
                             }
-                        }
-                        _ => {
-                            // Mismatch: fall through to the dispatch
-                            // instruction that follows the return (the
-                            // template's taken stays false).
-                            self.stats.ras_misses += 1;
+                            _ => {
+                                // Mismatch: fall through to the dispatch
+                                // instruction that follows the return (the
+                                // template's taken stays false).
+                                self.stats.ras_misses += 1;
+                            }
                         }
                     }
-                }
-                IInst::SetVpcBase { .. } => {}
-                IInst::LoadEmbeddedTarget { acc, vaddr } => {
-                    self.accs[acc.index()] = vaddr;
-                }
-                IInst::SaveVReturn { dst, vaddr } => {
-                    cpu.write(dst, vaddr);
-                }
-                IInst::PushDualRas { vret, iret } => {
-                    // class and ras_pair are static — in the template.
-                    let ITarget::Addr(i) = iret else {
-                        panic!("unresolved dual-RAS push")
-                    };
-                    self.ras_push(RasEntry {
-                        v: vret,
-                        i,
-                        link,
-                        epoch: cache.epoch(),
-                    });
-                }
-                IInst::CallTranslatorIfCond { acc, cond, src, vtarget } => {
-                    let taken = cond.eval(self.val(src, acc, cpu));
-                    if S::TRACING {
-                        d.taken = taken;
+                    IInst::SetVpcBase { .. } => {}
+                    IInst::LoadEmbeddedTarget { acc, vaddr } => {
+                        self.accs[acc.index()] = vaddr;
+                    }
+                    IInst::SaveVReturn { dst, vaddr } => {
+                        cpu.write(dst, vaddr);
+                    }
+                    IInst::PushDualRas { vret, iret } => {
+                        // class and ras_pair are static — in the template.
+                        let ITarget::Addr(i) = iret else {
+                            panic!("unresolved dual-RAS push")
+                        };
+                        self.ras_push(RasEntry {
+                            v: vret,
+                            i,
+                            link,
+                            epoch: cache.epoch(),
+                        });
+                    }
+                    IInst::CallTranslatorIfCond {
+                        acc,
+                        cond,
+                        src,
+                        vtarget,
+                    } => {
+                        let taken = cond.eval(self.val(src, acc, cpu));
+                        if S::TRACING {
+                            d.taken = taken;
+                            if taken {
+                                d.next_pc = DISPATCH_IADDR;
+                            }
+                        }
                         if taken {
-                            d.next_pc = DISPATCH_IADDR;
+                            exit = Some(FragExit::NotTranslated { vtarget });
                         }
                     }
-                    if taken {
+                    IInst::CallTranslator { vtarget } => {
+                        // class, taken and next_pc are static — in the template.
                         exit = Some(FragExit::NotTranslated { vtarget });
                     }
-                }
-                IInst::CallTranslator { vtarget } => {
-                    // class, taken and next_pc are static — in the template.
-                    exit = Some(FragExit::NotTranslated { vtarget });
-                }
-                IInst::Dispatch { acc, src } => {
-                    let v = self.val(src, acc, cpu) & !3u64;
-                    if S::TRACING {
-                        sink.retire(&d);
-                    }
-                    let target = cache.lookup(v);
-                    let ti = target.map(|t| cache.fragment(t).istart);
-                    self.run_dispatch(v, ti, sink);
-                    match target {
-                        Some(t) => {
-                            fid = t;
-                            continue 'fragment;
+                    IInst::Dispatch { acc, src } => {
+                        let v = self.val(src, acc, cpu) & !3u64;
+                        if S::TRACING {
+                            sink.retire(&d);
                         }
-                        None => return FragExit::NotTranslated { vtarget: v },
+                        let target = cache.lookup(v);
+                        let ti = target.map(|t| cache.fragment(t).istart);
+                        self.run_dispatch(v, ti, sink);
+                        match target {
+                            Some(t) => {
+                                fid = t;
+                                continue 'fragment;
+                            }
+                            None => return FragExit::NotTranslated { vtarget: v },
+                        }
+                    }
+                    IInst::GenTrap => {
+                        let state = self.recover_state(cache, fid, idx as u32, cpu);
+                        exit = Some(FragExit::Trap {
+                            vaddr: meta.vaddr,
+                            trap: Trap::GenTrap {
+                                code: state[Reg::A0.number() as usize],
+                            },
+                            state,
+                        });
+                    }
+                    IInst::PutChar { acc, src } => {
+                        let b = self.val(src, acc, cpu) as u8;
+                        self.output.push(b);
+                    }
+                    IInst::Halt => {
+                        exit = Some(FragExit::Halt);
                     }
                 }
-                IInst::GenTrap => {
-                    let state = self.recover_state(cache, fid, idx as u32, cpu);
-                    exit = Some(FragExit::Trap {
-                        vaddr: meta.vaddr,
-                        trap: Trap::GenTrap {
-                            code: state[Reg::A0.number() as usize],
-                        },
-                        state,
-                    });
-                }
-                IInst::PutChar { acc, src } => {
-                    let b = self.val(src, acc, cpu) as u8;
-                    self.output.push(b);
-                }
-                IInst::Halt => {
-                    exit = Some(FragExit::Halt);
-                }
-            }
 
-            if S::TRACING {
-                sink.retire(&d);
-            }
-            if let Some(e) = exit {
-                return e;
-            }
-            match goto {
-                None => idx += 1,
-                Some(t) => {
-                    fid = t;
-                    continue 'fragment;
+                if S::TRACING {
+                    sink.retire(&d);
                 }
-            }
+                if let Some(e) = exit {
+                    return e;
+                }
+                match goto {
+                    None => idx += 1,
+                    Some(t) => {
+                        fid = t;
+                        continue 'fragment;
+                    }
+                }
             }
         }
     }
@@ -606,7 +637,7 @@ fn resolve_link(link: Option<FragmentId>, target: ITarget) -> FragmentId {
 
 fn check_align(addr: u64, width: MemWidth, policy: AlignPolicy) -> Result<(), Trap> {
     let bytes = width.bytes();
-    if policy == AlignPolicy::Enforce && bytes > 1 && addr % bytes as u64 != 0 {
+    if policy == AlignPolicy::Enforce && bytes > 1 && !addr.is_multiple_of(bytes as u64) {
         return Err(Trap::UnalignedAccess {
             addr,
             required: bytes,
@@ -668,7 +699,6 @@ mod tests {
                     rhs: ASrc::Imm(0),
                     dst: Some(Reg::new(5)),
                 },
-
                 IInst::Dispatch {
                     acc: Acc::new(0),
                     src: ASrc::Gpr(Reg::new(5)),

@@ -570,7 +570,10 @@ mod tests {
         // Unresolved: points at dispatch.
         assert!(matches!(
             cache.fragment(a).insts[0],
-            IInst::PushDualRas { iret: ITarget::Addr(DISPATCH_IADDR), .. }
+            IInst::PushDualRas {
+                iret: ITarget::Addr(DISPATCH_IADDR),
+                ..
+            }
         ));
         let (insts, meta) = mk_insts(0x9000);
         let b = cache.install(0x5000, IsaForm::Modified, insts, meta, 1, HashMap::new());
@@ -586,7 +589,14 @@ mod tests {
     fn duplicate_install_rejected() {
         let mut cache = TranslationCache::new();
         let (insts, meta) = mk_insts(0x2000);
-        cache.install(0x1000, IsaForm::Modified, insts.clone(), meta.clone(), 1, HashMap::new());
+        cache.install(
+            0x1000,
+            IsaForm::Modified,
+            insts.clone(),
+            meta.clone(),
+            1,
+            HashMap::new(),
+        );
         cache.install(0x1000, IsaForm::Modified, insts, meta, 1, HashMap::new());
     }
 

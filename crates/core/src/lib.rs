@@ -33,21 +33,20 @@ mod cost;
 mod engine;
 mod fragment;
 mod profile;
-mod superblock;
 mod straighten;
 mod strands;
+mod superblock;
 mod translate;
 mod vm;
 
-pub use classify::{analyze, analyze_oracle, Dataflow, Reaching, UsageCat, ValueId, ValueInfo};
+pub use classify::{
+    analyze, analyze_oracle, CategoryCounts, Dataflow, Reaching, UsageCat, ValueId, ValueInfo,
+};
 pub use cost::CostModel;
 pub use engine::{Engine, EngineConfig, EngineStats, FragExit, NullSink, TraceSink};
 pub use fragment::{
     Fragment, FragmentId, IMeta, RecoveryEntry, TranslationCache, CODE_CACHE_BASE,
     DISPATCH_COST_INSTS, DISPATCH_IADDR,
-};
-pub use superblock::{
-    decompose, CollectedFlow, Node, NodeInput, NodeOp, SbEnd, SbInst, Superblock,
 };
 pub use profile::{
     collect_superblock, collect_superblock_with_output, interp_step, Candidates, InterpEvent,
@@ -55,5 +54,11 @@ pub use profile::{
 };
 pub use straighten::{StraightenStats, StraightenedVm};
 pub use strands::{plan, Role, TranslationPlan};
-pub use translate::{ChainPolicy, TranslateStats, TranslatedCode, Translator};
-pub use vm::{trace_original, FlushPolicy, Vm, VmConfig, VmExit, VmStats};
+pub use superblock::{
+    decompose, decompose_with, CollectedFlow, Node, NodeInput, NodeOp, SbEnd, SbInst, Superblock,
+};
+pub use translate::{ChainPolicy, TranslateStats, TranslatedCode, TranslationTrace, Translator};
+pub use vm::{
+    trace_original, FlushPolicy, InstallReview, InstallValidator, OnViolation, Vm, VmConfig,
+    VmExit, VmStats,
+};

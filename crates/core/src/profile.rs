@@ -247,9 +247,7 @@ pub fn collect_superblock_with_output(
             },
             Control::NotTaken => {
                 let target = match inst {
-                    Inst::Branch { disp, .. } => {
-                        seq.wrapping_add(((disp as i64) << 2) as u64)
-                    }
+                    Inst::Branch { disp, .. } => seq.wrapping_add(((disp as i64) << 2) as u64),
                     _ => unreachable!("only branches produce NotTaken"),
                 };
                 (
@@ -301,7 +299,15 @@ mod tests {
         let mut interp = 0u64;
         let mut hot = None;
         for _ in 0..1000 {
-            match interp_step(&mut cpu, &mut mem, &decoded, &mut cands, &config, &mut interp, &mut Vec::new()) {
+            match interp_step(
+                &mut cpu,
+                &mut mem,
+                &decoded,
+                &mut cands,
+                &config,
+                &mut interp,
+                &mut Vec::new(),
+            ) {
                 InterpEvent::Hot { vaddr } => {
                     hot = Some(vaddr);
                     break;
@@ -326,7 +332,15 @@ mod tests {
         let config = ProfileConfig::default();
         let mut c = Candidates::new();
         let mut n = 0;
-        interp_step(&mut cpu, &mut mem, &decoded, &mut c, &config, &mut n, &mut Vec::new());
+        interp_step(
+            &mut cpu,
+            &mut mem,
+            &decoded,
+            &mut c,
+            &config,
+            &mut n,
+            &mut Vec::new(),
+        );
         assert_eq!(cpu.pc, 0x1004);
         let sb = collect_superblock(&mut cpu, &mut mem, &program, &config).unwrap();
         assert_eq!(sb.start, 0x1004);
@@ -399,9 +413,8 @@ mod tests {
         asm.gentrap();
         let program = asm.finish().unwrap();
         let (mut cpu, mut mem) = program.load();
-        let err =
-            collect_superblock(&mut cpu, &mut mem, &program, &ProfileConfig::default())
-                .unwrap_err();
+        let err = collect_superblock(&mut cpu, &mut mem, &program, &ProfileConfig::default())
+            .unwrap_err();
         assert_eq!(err.0, 0x5004);
         assert_eq!(err.1, Trap::GenTrap { code: 42 });
     }

@@ -17,9 +17,7 @@ use crate::profile::{interp_step, Candidates, InterpEvent, ProfileConfig};
 use crate::superblock::{CollectedFlow, SbEnd, Superblock};
 use crate::translate::ChainPolicy;
 use crate::vm::VmExit;
-use alpha_isa::{
-    step, BranchOp, Control, CpuState, Inst, JumpKind, Memory, Program, Reg,
-};
+use alpha_isa::{step, BranchOp, Control, CpuState, Inst, JumpKind, Memory, Program, Reg};
 use ildp_uarch::{DynInst, InstClass};
 use std::collections::HashMap;
 
@@ -42,19 +40,39 @@ enum SInst {
         resolved: Option<u64>,
     },
     /// Unconditional fragment exit (patchable).
-    Exit { vtarget: u64, resolved: Option<u64> },
+    Exit {
+        vtarget: u64,
+        resolved: Option<u64>,
+    },
     /// Writes the V-ISA return address (replaces a linking `BR`/`BSR`).
-    SaveVReturn { dst: Reg, vaddr: u64 },
+    SaveVReturn {
+        dst: Reg,
+        vaddr: u64,
+    },
     /// Pushes a (V, I) pair onto the dual-address RAS.
-    PushDualRas { vret: u64, iret: Option<u64> },
+    PushDualRas {
+        vret: u64,
+        iret: Option<u64>,
+    },
     /// Dual-RAS-checked return through `rb`; falls through on mismatch.
-    Return { rb: Reg },
+    Return {
+        rb: Reg,
+    },
     /// Software jump prediction (paper: 3 instructions).
-    LoadEmbedded { vaddr: u64 },
-    CmpEmbedded { rb: Reg },
-    BranchIfMatch { vtarget: u64, resolved: Option<u64> },
+    LoadEmbedded {
+        vaddr: u64,
+    },
+    CmpEmbedded {
+        rb: Reg,
+    },
+    BranchIfMatch {
+        vtarget: u64,
+        resolved: Option<u64>,
+    },
     /// Transfer to the shared dispatch code, target register `rb`.
-    Dispatch { rb: Reg },
+    Dispatch {
+        rb: Reg,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -502,9 +520,19 @@ impl<'p> StraightenedVm<'p> {
         // Resolve this fragment's exits, then patch earlier fragments.
         for i in 0..self.fragments[idx].insts.len() {
             let vt = match self.fragments[idx].insts[i] {
-                SInst::ExitIf { vtarget, resolved: None, .. }
-                | SInst::Exit { vtarget, resolved: None }
-                | SInst::BranchIfMatch { vtarget, resolved: None } => Some(vtarget),
+                SInst::ExitIf {
+                    vtarget,
+                    resolved: None,
+                    ..
+                }
+                | SInst::Exit {
+                    vtarget,
+                    resolved: None,
+                }
+                | SInst::BranchIfMatch {
+                    vtarget,
+                    resolved: None,
+                } => Some(vtarget),
                 SInst::PushDualRas { vret, iret: None } => Some(vret),
                 _ => None,
             };
@@ -699,9 +727,7 @@ impl<'p> StraightenedVm<'p> {
                                         self.fragments[fi].entries += 1;
                                         continue;
                                     }
-                                    None => {
-                                        return ExecExit::NotTranslated { vtarget: actual }
-                                    }
+                                    None => return ExecExit::NotTranslated { vtarget: actual },
                                 }
                             }
                             goto = Some(i);
@@ -893,7 +919,14 @@ mod tests {
     fn check_policy(chain: ChainPolicy) {
         let program = call_loop_program();
         let (mut rcpu, mut rmem) = program.load();
-        run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000).unwrap();
+        run_to_halt(
+            &mut rcpu,
+            &mut rmem,
+            &program,
+            AlignPolicy::Enforce,
+            100_000,
+        )
+        .unwrap();
 
         let mut vm = StraightenedVm::new(chain, ProfileConfig::default(), &program);
         let exit = vm.run(100_000, &mut NullSink);
@@ -904,7 +937,11 @@ mod tests {
             "straightened execution must preserve state ({chain:?})"
         );
         assert!(vm.stats().fragments > 0);
-        assert!(vm.stats().v_insts > 500, "{chain:?}: {}", vm.stats().v_insts);
+        assert!(
+            vm.stats().v_insts > 500,
+            "{chain:?}: {}",
+            vm.stats().v_insts
+        );
     }
 
     #[test]
@@ -970,11 +1007,20 @@ mod tests {
         let program = asm.finish().unwrap();
 
         let (mut rcpu, mut rmem) = program.load();
-        let rstats =
-            run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000).unwrap();
+        let rstats = run_to_halt(
+            &mut rcpu,
+            &mut rmem,
+            &program,
+            AlignPolicy::Enforce,
+            100_000,
+        )
+        .unwrap();
 
-        let mut vm =
-            StraightenedVm::new(ChainPolicy::SwPredDualRas, ProfileConfig::default(), &program);
+        let mut vm = StraightenedVm::new(
+            ChainPolicy::SwPredDualRas,
+            ProfileConfig::default(),
+            &program,
+        );
         vm.run(100_000, &mut NullSink);
         assert_eq!(vm.cpu().registers(), rcpu.registers());
         // Straightened hot code drops the BR: fewer executed instructions

@@ -76,12 +76,7 @@ impl TranslationPlan {
 /// # Panics
 ///
 /// Panics if `acc_count` is zero or exceeds [`Acc::MAX_ACCUMULATORS`].
-pub fn plan(
-    nodes: &[Node],
-    df: &Dataflow,
-    acc_count: usize,
-    pei_copies: bool,
-) -> TranslationPlan {
+pub fn plan(nodes: &[Node], df: &Dataflow, acc_count: usize, pei_copies: bool) -> TranslationPlan {
     assert!(
         acc_count > 0 && acc_count <= Acc::MAX_ACCUMULATORS,
         "accumulator count out of range"
@@ -164,9 +159,8 @@ fn form_strands(nodes: &[Node], df: &Dataflow, upgraded: &HashSet<ValueId>) -> F
     // immediately — safe because an acc-carried value has exactly one
     // consumer, the node at which the conflict is discovered.
     let mut local_upgrades: HashSet<ValueId> = HashSet::new();
-    let locality = |lu: &HashSet<ValueId>, id: ValueId| {
-        is_local(df, upgraded, id) && !lu.contains(&id)
-    };
+    let locality =
+        |lu: &HashSet<ValueId>, id: ValueId| is_local(df, upgraded, id) && !lu.contains(&id);
 
     for (i, node) in nodes.iter().enumerate() {
         // Gather the candidate-local and global inputs.
@@ -261,8 +255,7 @@ fn form_strands(nodes: &[Node], df: &Dataflow, upgraded: &HashSet<ValueId>) -> F
                             true
                         } else {
                             local_upgrades.insert(id);
-                            let reg =
-                                df.value(id).reg.expect("conflicting local has a register");
+                            let reg = df.value(id).reg.expect("conflicting local has a register");
                             global_regs.push((slot, reg));
                             false
                         }
@@ -358,7 +351,9 @@ fn pei_window_upgrades(
         if v.reg.is_none() || !v.category.is_acc_carried() || upgraded.contains(&id) {
             continue;
         }
-        let Some(strand) = f.value_strand[vi] else { continue };
+        let Some(strand) = f.value_strand[vi] else {
+            continue;
+        };
         let touches = &f.strand_touches[strand as usize];
         // The accumulator stops holding this value at the strand's next
         // production after it, or (conservatively) at the strand's last
@@ -377,9 +372,7 @@ fn pei_window_upgrades(
             let after_clobber = p > clobber;
             match v.redef {
                 None => after_clobber,
-                Some(rd) => {
-                    after_clobber && (p < rd || (p == rd && nodes[rd as usize].is_pei))
-                }
+                Some(rd) => after_clobber && (p < rd || (p == rd && nodes[rd as usize].is_pei)),
             }
         });
         if exposed {
@@ -476,7 +469,7 @@ mod tests {
     use super::*;
     use crate::classify::analyze;
     use crate::superblock::{decompose, CollectedFlow, SbEnd, SbInst, Superblock};
-    use alpha_isa::{Inst, MemOp, OperateOp, Operand};
+    use alpha_isa::{Inst, MemOp, Operand, OperateOp};
 
     fn r(n: u8) -> Reg {
         Reg::new(n)

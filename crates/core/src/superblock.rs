@@ -15,7 +15,7 @@
 //!   select node;
 //! * everything else → a single node.
 
-use alpha_isa::{BranchOp, Inst, JumpKind, MemOp, OperateOp, Operand, PalFunc, Reg};
+use alpha_isa::{BranchOp, Inst, JumpKind, MemOp, Operand, OperateOp, PalFunc, Reg};
 
 /// How control left an instruction when the superblock was collected.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -400,6 +400,11 @@ pub fn decompose_with(sb: &Superblock, fuse_memory: bool) -> Vec<Node> {
                 n.is_pei = matches!(func, PalFunc::GenTrap);
                 n.is_exit = matches!(func, PalFunc::Halt);
                 nodes.push(n);
+            }
+            // Unimplemented instructions trap before retiring, so the
+            // profiler can never collect one into a superblock.
+            Inst::Unimplemented { word } => {
+                panic!("unimplemented instruction {word:#010x} in a superblock")
             }
         }
     }

@@ -15,7 +15,7 @@
 //!   `call-translator` exits, the 3-instruction software jump prediction
 //!   sequence, dual-address-RAS pushes and the return/dispatch pair.
 
-use crate::classify::{analyze, UsageCat, ValueId};
+use crate::classify::{analyze, CategoryCounts, ValueId};
 use crate::fragment::{IMeta, RecoveryEntry, DISPATCH_IADDR};
 use crate::strands::{plan, Role, TranslationPlan};
 use crate::superblock::{decompose_with, CollectedFlow, Node, NodeOp, SbEnd, Superblock};
@@ -99,10 +99,10 @@ pub struct TranslateStats {
     /// Strands prematurely terminated.
     pub terminations: u32,
     /// Static category counts of produced values.
-    pub categories: HashMap<UsageCat, u32>,
+    pub categories: CategoryCounts,
     /// Static category counts under **oracle boundaries** (no saves at
     /// side exits — the paper's [28] comparison point; statistics only).
-    pub oracle_categories: HashMap<UsageCat, u32>,
+    pub oracle_categories: CategoryCounts,
 }
 
 /// The output of translating one superblock, ready for
@@ -121,6 +121,29 @@ pub struct TranslatedCode {
     pub src_inst_count: u32,
     /// Emission statistics.
     pub stats: TranslateStats,
+    /// The analysis artifacts behind this emission (consumed by
+    /// translation validators).
+    pub trace: TranslationTrace,
+}
+
+/// Everything the translator knew when it emitted a fragment: the
+/// decomposed node list, its dataflow analysis, the strand/accumulator
+/// plan, and the map from each emitted instruction back to the node it
+/// implements. Static-analysis passes (the `ildp-verifier` crate) check
+/// the emitted code against this record instead of re-deriving it.
+#[derive(Clone, Debug)]
+pub struct TranslationTrace {
+    /// Decomposed dataflow nodes of the source superblock.
+    pub nodes: Vec<Node>,
+    /// Dataflow analysis over `nodes`.
+    pub df: crate::classify::Dataflow,
+    /// Strand formation and accumulator assignment over `nodes`.
+    pub plan: TranslationPlan,
+    /// Per emitted instruction: the node it implements. `None` for the
+    /// leading `SetVpcBase` and the block-ending continuation exit;
+    /// chaining instructions emitted on behalf of a node (software jump
+    /// prediction, RAS pushes) carry that node's index.
+    pub inst_node: Vec<Option<u32>>,
 }
 
 /// Where each architected register's current value lives during emission
@@ -150,6 +173,10 @@ struct Emitter<'a> {
     /// Basic-form recovery tracking.
     cur_def: [CurDef; 32],
     acc_holds: [Option<ValueId>; Acc::MAX_ACCUMULATORS],
+    /// Per emitted instruction: the node being emitted when it was pushed.
+    inst_node: Vec<Option<u32>>,
+    /// The node currently being emitted.
+    cur_node: Option<u32>,
 }
 
 impl Translator {
@@ -180,21 +207,37 @@ impl Translator {
             credited: 0,
             cur_def: [CurDef::LiveIn; 32],
             acc_holds: [None; Acc::MAX_ACCUMULATORS],
+            inst_node: Vec::with_capacity(nodes.len() * 2),
+            cur_node: None,
         };
         for v in &plan.final_category {
-            *em.stats.categories.entry(*v).or_insert(0) += 1;
+            em.stats.categories.bump(*v);
         }
         for v in &crate::classify::analyze_oracle(&nodes).values {
-            *em.stats.oracle_categories.entry(v.category).or_insert(0) += 1;
+            em.stats.oracle_categories.bump(v.category);
         }
         em.run();
+        let Emitter {
+            insts,
+            meta,
+            recovery,
+            stats,
+            inst_node,
+            ..
+        } = em;
         TranslatedCode {
             vstart: sb.start,
-            insts: em.insts,
-            meta: em.meta,
-            recovery: em.recovery,
+            insts,
+            meta,
+            recovery,
             src_inst_count: sb.len() as u32,
-            stats: em.stats,
+            stats,
+            trace: TranslationTrace {
+                nodes,
+                df,
+                plan,
+                inst_node,
+            },
         }
     }
 }
@@ -215,8 +258,10 @@ impl Emitter<'_> {
             },
         );
         for i in 0..self.nodes.len() {
+            self.cur_node = Some(i as u32);
             self.emit_node(i);
         }
+        self.cur_node = None;
         // Block-ending continuation for non-control endings.
         match self.sb.end {
             SbEnd::Cycle { next } | SbEnd::MaxSize { next } => {
@@ -245,6 +290,7 @@ impl Emitter<'_> {
         }
         self.insts.push(inst);
         self.meta.push(meta);
+        self.inst_node.push(self.cur_node);
     }
 
     fn push_chain(&mut self, inst: IInst, vaddr: u64) {
@@ -542,11 +588,7 @@ impl Emitter<'_> {
                 let dst = node.out.expect("call-save links a register");
                 let vret = node.vaddr + 4;
                 self.push(IInst::SaveVReturn { dst, vaddr: vret }, meta);
-                if self.tr.form == IsaForm::Basic {
-                    self.cur_def[dst.number() as usize] = CurDef::Global;
-                } else {
-                    self.cur_def[dst.number() as usize] = CurDef::Global;
-                }
+                self.cur_def[dst.number() as usize] = CurDef::Global;
                 if self.tr.chain.uses_dual_ras() {
                     self.push_chain(
                         IInst::PushDualRas {
@@ -689,45 +731,87 @@ mod tests {
             flow: CollectedFlow::Sequential,
         };
         let mut insts = vec![
-            mk(0, Inst::Mem { op: MemOp::Ldbu, ra: r(3), rb: r(16), disp: 0 }),
-            mk(1, Inst::Operate {
-                op: OperateOp::Subl,
-                ra: r(17),
-                rb: Operand::Lit(1),
-                rc: r(17),
-            }),
-            mk(2, Inst::Mem { op: MemOp::Lda, ra: r(16), rb: r(16), disp: 1 }),
-            mk(3, Inst::Operate {
-                op: OperateOp::Xor,
-                ra: r(1),
-                rb: Operand::Reg(r(3)),
-                rc: r(3),
-            }),
-            mk(4, Inst::Operate {
-                op: OperateOp::Srl,
-                ra: r(1),
-                rb: Operand::Lit(8),
-                rc: r(1),
-            }),
-            mk(5, Inst::Operate {
-                op: OperateOp::And,
-                ra: r(3),
-                rb: Operand::Lit(0xff),
-                rc: r(3),
-            }),
-            mk(6, Inst::Operate {
-                op: OperateOp::S8addq,
-                ra: r(3),
-                rb: Operand::Reg(r(0)),
-                rc: r(3),
-            }),
-            mk(7, Inst::Mem { op: MemOp::Ldq, ra: r(3), rb: r(3), disp: 0 }),
-            mk(8, Inst::Operate {
-                op: OperateOp::Xor,
-                ra: r(3),
-                rb: Operand::Reg(r(1)),
-                rc: r(1),
-            }),
+            mk(
+                0,
+                Inst::Mem {
+                    op: MemOp::Ldbu,
+                    ra: r(3),
+                    rb: r(16),
+                    disp: 0,
+                },
+            ),
+            mk(
+                1,
+                Inst::Operate {
+                    op: OperateOp::Subl,
+                    ra: r(17),
+                    rb: Operand::Lit(1),
+                    rc: r(17),
+                },
+            ),
+            mk(
+                2,
+                Inst::Mem {
+                    op: MemOp::Lda,
+                    ra: r(16),
+                    rb: r(16),
+                    disp: 1,
+                },
+            ),
+            mk(
+                3,
+                Inst::Operate {
+                    op: OperateOp::Xor,
+                    ra: r(1),
+                    rb: Operand::Reg(r(3)),
+                    rc: r(3),
+                },
+            ),
+            mk(
+                4,
+                Inst::Operate {
+                    op: OperateOp::Srl,
+                    ra: r(1),
+                    rb: Operand::Lit(8),
+                    rc: r(1),
+                },
+            ),
+            mk(
+                5,
+                Inst::Operate {
+                    op: OperateOp::And,
+                    ra: r(3),
+                    rb: Operand::Lit(0xff),
+                    rc: r(3),
+                },
+            ),
+            mk(
+                6,
+                Inst::Operate {
+                    op: OperateOp::S8addq,
+                    ra: r(3),
+                    rb: Operand::Reg(r(0)),
+                    rc: r(3),
+                },
+            ),
+            mk(
+                7,
+                Inst::Mem {
+                    op: MemOp::Ldq,
+                    ra: r(3),
+                    rb: r(3),
+                    disp: 0,
+                },
+            ),
+            mk(
+                8,
+                Inst::Operate {
+                    op: OperateOp::Xor,
+                    ra: r(3),
+                    rb: Operand::Reg(r(1)),
+                    rc: r(1),
+                },
+            ),
         ];
         insts.push(SbInst {
             vaddr: base + 9 * 4,
@@ -757,25 +841,31 @@ mod tests {
             form: IsaForm::Basic,
             chain: ChainPolicy::SwPredDualRas,
             acc_count: 4,
-        fuse_memory: false,
-    };
+            fuse_memory: false,
+        };
         let out = tr.translate(&fig2_superblock());
         // Paper Fig. 2(c): 9 source instructions become 13 basic-ISA
         // computational instructions (4 copies), plus the two-way exit
         // and the leading SetVpcBase.
-        let copies = out
-            .insts
-            .iter()
-            .filter(|i| i.is_copy())
-            .count();
-        assert_eq!(copies, 4, "Fig 2(c) has four copy-to-GPR instructions:\n{}",
-            out.insts.iter().map(|i| format!("  {i}\n")).collect::<String>());
+        let copies = out.insts.iter().filter(|i| i.is_copy()).count();
+        assert_eq!(
+            copies,
+            4,
+            "Fig 2(c) has four copy-to-GPR instructions:\n{}",
+            out.insts
+                .iter()
+                .map(|i| format!("  {i}\n"))
+                .collect::<String>()
+        );
         assert!(matches!(out.insts[0], IInst::SetVpcBase { .. }));
         // The two-way ending: conditional + unconditional exits.
         let n = out.insts.len();
         assert!(matches!(
             out.insts[n - 2],
-            IInst::CallTranslatorIfCond { cond: CondKind::Ne, .. }
+            IInst::CallTranslatorIfCond {
+                cond: CondKind::Ne,
+                ..
+            }
         ));
         assert!(matches!(out.insts[n - 1], IInst::CallTranslator { .. }));
         // All instructions validate for the basic form.
@@ -791,8 +881,8 @@ mod tests {
             form: IsaForm::Modified,
             chain: ChainPolicy::SwPredDualRas,
             acc_count: 4,
-        fuse_memory: false,
-    };
+            fuse_memory: false,
+        };
         let out = tr.translate(&fig2_superblock());
         assert_eq!(
             out.insts.iter().filter(|i| i.is_copy()).count(),
@@ -831,15 +921,23 @@ mod tests {
             form: IsaForm::Basic,
             chain: ChainPolicy::SwPredDualRas,
             acc_count: 4,
-        fuse_memory: false,
-    };
+            fuse_memory: false,
+        };
         let out = tr.translate(&fig2_superblock());
         // The ldq (A0 <- mem[A0]) has r3's architected value (the s8addq
         // result) still in A0: the recovery table must say so.
         let ldq_idx = out
             .insts
             .iter()
-            .position(|i| matches!(i, IInst::Load { width: MemWidth::U64, .. }))
+            .position(|i| {
+                matches!(
+                    i,
+                    IInst::Load {
+                        width: MemWidth::U64,
+                        ..
+                    }
+                )
+            })
             .expect("fragment contains the ldq");
         let entries = out
             .recovery
@@ -873,7 +971,10 @@ mod tests {
         let out = Translator::default().translate(&sb);
         assert!(matches!(
             out.insts[1],
-            IInst::IndirectJump { kind: JumpKind::Ret, .. }
+            IInst::IndirectJump {
+                kind: JumpKind::Ret,
+                ..
+            }
         ));
         assert!(matches!(out.insts[2], IInst::Dispatch { .. }));
 
@@ -884,11 +985,23 @@ mod tests {
             ..Translator::default()
         };
         let out = tr.translate(&sb);
-        assert!(matches!(out.insts[1], IInst::LoadEmbeddedTarget { vaddr: 0x9000, .. }));
-        assert!(matches!(out.insts[2], IInst::Op { op: OperateOp::Cmpeq, .. }));
+        assert!(matches!(
+            out.insts[1],
+            IInst::LoadEmbeddedTarget { vaddr: 0x9000, .. }
+        ));
+        assert!(matches!(
+            out.insts[2],
+            IInst::Op {
+                op: OperateOp::Cmpeq,
+                ..
+            }
+        ));
         assert!(matches!(
             out.insts[3],
-            IInst::CallTranslatorIfCond { vtarget: 0x9000, .. }
+            IInst::CallTranslatorIfCond {
+                vtarget: 0x9000,
+                ..
+            }
         ));
         assert!(matches!(out.insts[4], IInst::Dispatch { .. }));
 
@@ -932,9 +1045,15 @@ mod tests {
         let out = Translator::default().translate(&sb);
         assert!(matches!(
             out.insts[1],
-            IInst::SaveVReturn { dst: Reg::RA, vaddr: 0x3004 }
+            IInst::SaveVReturn {
+                dst: Reg::RA,
+                vaddr: 0x3004
+            }
         ));
-        assert!(matches!(out.insts[2], IInst::PushDualRas { vret: 0x3004, .. }));
+        assert!(matches!(
+            out.insts[2],
+            IInst::PushDualRas { vret: 0x3004, .. }
+        ));
         assert!(matches!(out.insts[3], IInst::Halt));
     }
 }

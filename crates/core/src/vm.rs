@@ -8,6 +8,7 @@
 //! collected for translated (and chained) code only, and the overall
 //! performance metric is V-ISA instructions per cycle over that trace.
 
+use crate::classify::CategoryCounts;
 use crate::cost::CostModel;
 use crate::engine::{Engine, EngineConfig, FragExit, TraceSink};
 use crate::fragment::TranslationCache;
@@ -17,7 +18,6 @@ use crate::profile::{
 use crate::translate::Translator;
 use alpha_isa::{CpuState, DecodeCache, Memory, Program, Trap};
 use ildp_uarch::{DynInst, InstClass};
-use std::collections::HashMap;
 
 /// Dynamo-style phase-change flushing (paper §4.1, after Dynamo): when
 /// fragment formation accelerates abruptly — the signature of a program
@@ -40,6 +40,39 @@ impl Default for FlushPolicy {
     }
 }
 
+/// One translation, presented to an [`InstallValidator`] before it is
+/// installed in the translation cache.
+#[derive(Debug)]
+pub struct InstallReview<'a> {
+    /// The collected source superblock.
+    pub sb: &'a crate::Superblock,
+    /// The emitted translation (code, metadata, recovery tables, and the
+    /// analysis trace behind them).
+    pub code: &'a crate::TranslatedCode,
+    /// The translator configuration that produced it.
+    pub translator: &'a Translator,
+}
+
+/// Install-time translation validation hook.
+///
+/// A plain function pointer (not a closure) so [`VmConfig`] stays `Copy`;
+/// `Err` carries a human-readable diagnostic. The `ildp-verifier` crate
+/// provides implementations running its static-analysis passes.
+pub type InstallValidator = fn(&InstallReview<'_>) -> Result<(), String>;
+
+/// What the VM does when the install validator rejects a translation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OnViolation {
+    /// Panic with the diagnostic — a rejected translation is a translator
+    /// bug, and tests want to fail loudly.
+    #[default]
+    Panic,
+    /// Refuse the installation and keep interpreting that code
+    /// (`reject-on-violation` mode): the fragment never enters the cache,
+    /// and [`VmStats::verify_rejected`] counts the refusal.
+    Reject,
+}
+
 /// VM configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct VmConfig {
@@ -54,6 +87,10 @@ pub struct VmConfig {
     /// Optional phase-change cache flushing (off by default, matching the
     /// paper's evaluated configuration).
     pub flush: Option<FlushPolicy>,
+    /// Optional install-time translation validator.
+    pub validator: Option<InstallValidator>,
+    /// Response to validator rejections.
+    pub on_violation: OnViolation,
 }
 
 /// Why a VM run ended.
@@ -100,12 +137,18 @@ pub struct VmStats {
     pub interpretation_overhead: u64,
     /// Translation-cache flushes performed (phase-change policy).
     pub cache_flushes: u64,
+    /// Fragments checked by the install validator.
+    pub fragments_verified: u64,
+    /// Wall time spent in the install validator, in nanoseconds.
+    pub verify_nanos: u64,
+    /// Translations refused under [`OnViolation::Reject`].
+    pub verify_rejected: u64,
     /// Dynamic engine statistics.
     pub engine: crate::engine::EngineStats,
     /// Static usage-category counts across all translations.
-    pub static_categories: HashMap<crate::UsageCat, u64>,
+    pub static_categories: CategoryCounts,
     /// Static oracle-boundary category counts (paper's [28] comparison).
-    pub oracle_categories: HashMap<crate::UsageCat, u64>,
+    pub oracle_categories: CategoryCounts,
 }
 
 impl VmStats {
@@ -253,18 +296,45 @@ impl<'p> Vm<'p> {
             Ok(sb) if !sb.is_empty() => {
                 self.maybe_flush();
                 let out = self.config.translator.translate(&sb);
+                if let Some(validator) = self.config.validator {
+                    let review = InstallReview {
+                        sb: &sb,
+                        code: &out,
+                        translator: &self.config.translator,
+                    };
+                    let t0 = std::time::Instant::now();
+                    let verdict = validator(&review);
+                    // Verifier time is accounted separately from the
+                    // paper's translation-overhead model: it is a
+                    // debugging aid, not part of the modeled DBT cost.
+                    self.stats.verify_nanos += t0.elapsed().as_nanos() as u64;
+                    self.stats.fragments_verified += 1;
+                    if let Err(msg) = verdict {
+                        match self.config.on_violation {
+                            OnViolation::Panic => panic!(
+                                "translation validator rejected fragment at \
+                                 {:#x}: {msg}",
+                                out.vstart
+                            ),
+                            OnViolation::Reject => {
+                                self.stats.verify_rejected += 1;
+                                // Collection still executed the path once.
+                                self.stats.interpreted += out.src_inst_count as u64;
+                                return false;
+                            }
+                        }
+                    }
+                }
                 self.stats.fragments += 1;
                 self.stats.translated_src_insts += out.src_inst_count as u64;
                 self.stats.emitted_insts += out.insts.len() as u64;
                 self.stats.static_copies += out.stats.copies as u64;
                 self.stats.strands += out.stats.strands as u64;
                 self.stats.terminations += out.stats.terminations as u64;
-                for (cat, n) in &out.stats.categories {
-                    *self.stats.static_categories.entry(*cat).or_insert(0) += *n as u64;
-                }
-                for (cat, n) in &out.stats.oracle_categories {
-                    *self.stats.oracle_categories.entry(*cat).or_insert(0) += *n as u64;
-                }
+                self.stats.static_categories.merge(&out.stats.categories);
+                self.stats
+                    .oracle_categories
+                    .merge(&out.stats.oracle_categories);
                 self.stats.translation_overhead += self
                     .config
                     .cost
@@ -321,10 +391,7 @@ impl<'p> Vm<'p> {
                         self.cpu.pc = vtarget;
                         // Fragment exit targets are superblock start
                         // candidates (paper §3.1).
-                        if self
-                            .candidates
-                            .bump(vtarget, self.config.profile.threshold)
-                        {
+                        if self.candidates.bump(vtarget, self.config.profile.threshold) {
                             self.translate_at(vtarget);
                         }
                     }
@@ -375,7 +442,9 @@ impl<'p> Vm<'p> {
 
     /// Dynamo-style phase detection: flush when fragment creation spikes.
     fn maybe_flush(&mut self) {
-        let Some(policy) = self.config.flush else { return };
+        let Some(policy) = self.config.flush else {
+            return;
+        };
         let now = self.v_instructions();
         self.recent_fragments.push(now);
         let cutoff = now.saturating_sub(policy.window);
@@ -400,11 +469,7 @@ impl<'p> Vm<'p> {
 /// bars of Figures 4, 6 and 8).
 ///
 /// Returns the exit condition and the number of instructions traced.
-pub fn trace_original<S: TraceSink>(
-    program: &Program,
-    budget: u64,
-    sink: &mut S,
-) -> (VmExit, u64) {
+pub fn trace_original<S: TraceSink>(program: &Program, budget: u64, sink: &mut S) -> (VmExit, u64) {
     use alpha_isa::{step, AlignPolicy, BranchOp, Control, Inst};
     let decoded = DecodeCache::new(program);
     let (mut cpu, mut mem) = program.load();
@@ -450,8 +515,12 @@ pub fn trace_original<S: TraceSink>(
             Inst::Mem { op, .. } if op.is_load() => InstClass::Load,
             Inst::Mem { op, .. } if op.is_store() => InstClass::Store,
             Inst::Mem { .. } => InstClass::IntAlu,
-            Inst::Branch { op: BranchOp::Bsr, .. } => InstClass::Call,
-            Inst::Branch { op: BranchOp::Br, .. } => InstClass::Branch,
+            Inst::Branch {
+                op: BranchOp::Bsr, ..
+            } => InstClass::Call,
+            Inst::Branch {
+                op: BranchOp::Br, ..
+            } => InstClass::Branch,
             Inst::Branch { .. } => InstClass::CondBranch,
             Inst::Jump { kind, .. } => match kind {
                 alpha_isa::JumpKind::Ret => InstClass::Return,
@@ -459,6 +528,8 @@ pub fn trace_original<S: TraceSink>(
                 _ => InstClass::IndirectJump,
             },
             Inst::CallPal { .. } => InstClass::IntAlu,
+            // Traps at `step` above; never retires into the trace.
+            Inst::Unimplemented { .. } => unreachable!("unimplemented instructions trap"),
         };
         let mut srcs = [None; 3];
         for (k, r) in inst.sources().iter().enumerate() {
@@ -510,15 +581,22 @@ mod tests {
         let program = loop_program(500);
         // Reference: pure interpretation.
         let (mut rcpu, mut rmem) = program.load();
-        run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000).unwrap();
+        run_to_halt(
+            &mut rcpu,
+            &mut rmem,
+            &program,
+            AlignPolicy::Enforce,
+            100_000,
+        )
+        .unwrap();
 
         let config = VmConfig {
             translator: Translator {
                 form,
                 chain,
                 acc_count: 4,
-        fuse_memory: false,
-    },
+                fuse_memory: false,
+            },
             ..VmConfig::default()
         };
         let mut vm = Vm::new(config, &program);

@@ -548,6 +548,58 @@ impl IInst {
         )
     }
 
+    /// The instruction's value-source operand slots, in encoding order
+    /// (`[lhs, rhs]` for ALU ops, `[addr, value]` for stores, single
+    /// operands in slot 0). Introspection for static analyzers that need
+    /// the raw [`ASrc`]s rather than just the GPR views.
+    pub fn asrc_operands(&self) -> [Option<ASrc>; 2] {
+        match *self {
+            IInst::Op { lhs, rhs, .. } => [Some(lhs), Some(rhs)],
+            IInst::Load { addr, .. } => [Some(addr), None],
+            IInst::Store { addr, value, .. } => [Some(addr), Some(value)],
+            IInst::AddHigh { src, .. } => [Some(src), None],
+            IInst::CmovSelect { value, .. } => [Some(value), None],
+            IInst::Dispatch { src, .. } => [Some(src), None],
+            IInst::CondBranch { src, .. } => [Some(src), None],
+            IInst::IndirectJump { addr, .. } => [Some(addr), None],
+            IInst::CallTranslatorIfCond { src, .. } => [Some(src), None],
+            IInst::PutChar { src, .. } => [Some(src), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Whether this instruction unconditionally ends a fragment's
+    /// instruction stream (no fall-through to a following instruction).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            IInst::Branch { .. }
+                | IInst::CallTranslator { .. }
+                | IInst::Dispatch { .. }
+                | IInst::Halt
+        )
+    }
+
+    /// The embedded V-ISA target of a patchable translator-exit
+    /// instruction, if this is one.
+    pub fn patch_vtarget(&self) -> Option<u64> {
+        match *self {
+            IInst::CallTranslator { vtarget } | IInst::CallTranslatorIfCond { vtarget, .. } => {
+                Some(vtarget)
+            }
+            _ => None,
+        }
+    }
+
+    /// The I-ISA branch target of a resolved control transfer, if any
+    /// (conditional or unconditional branch).
+    pub fn branch_itarget(&self) -> Option<ITarget> {
+        match *self {
+            IInst::CondBranch { target, .. } | IInst::Branch { target } => Some(target),
+            _ => None,
+        }
+    }
+
     /// Checks the structural encodability rules for the given ISA form.
     ///
     /// # Errors
@@ -674,9 +726,22 @@ impl fmt::Display for IInst {
                     ASrc::Acc => acc.to_string(),
                     other => other.to_string(),
                 };
-                write!(f, "{} <- {} {} {}", dst_s(acc, dst), lhs, op.mnemonic(), rhs)
+                write!(
+                    f,
+                    "{} <- {} {} {}",
+                    dst_s(acc, dst),
+                    lhs,
+                    op.mnemonic(),
+                    rhs
+                )
             }
-            IInst::Load { acc, addr, disp, dst, .. } => {
+            IInst::Load {
+                acc,
+                addr,
+                disp,
+                dst,
+                ..
+            } => {
                 let a = match addr {
                     ASrc::Acc => acc.to_string(),
                     other => other.to_string(),
@@ -687,7 +752,13 @@ impl fmt::Display for IInst {
                     write!(f, "{} <- mem[{} + {}]", dst_s(acc, dst), a, disp)
                 }
             }
-            IInst::Store { acc, addr, disp, value, .. } => {
+            IInst::Store {
+                acc,
+                addr,
+                disp,
+                value,
+                ..
+            } => {
                 let a = match addr {
                     ASrc::Acc => acc.to_string(),
                     other => other.to_string(),
@@ -709,7 +780,13 @@ impl fmt::Display for IInst {
                 };
                 write!(f, "{} <- {} + ({} << 16)", dst_s(acc, dst), srcs, imm)
             }
-            IInst::CmovSelect { lbs, acc, value, old, dst } => {
+            IInst::CmovSelect {
+                lbs,
+                acc,
+                value,
+                old,
+                dst,
+            } => {
                 let v = match value {
                     ASrc::Acc => acc.to_string(),
                     other => other.to_string(),
@@ -755,7 +832,11 @@ impl fmt::Display for IInst {
                 write!(f, "ras_push ({vret:#x}, {iret:?})")
             }
             IInst::CallTranslatorIfCond {
-                cond, acc, src, vtarget, ..
+                cond,
+                acc,
+                src,
+                vtarget,
+                ..
             } => {
                 let s = match src {
                     ASrc::Acc => acc.to_string(),
@@ -811,7 +892,10 @@ mod tests {
         assert!(!start.reads_acc());
         assert!(start.writes_acc());
 
-        let copy = IInst::CopyToGpr { acc: a(1), dst: r(17) };
+        let copy = IInst::CopyToGpr {
+            acc: a(1),
+            dst: r(17),
+        };
         assert!(copy.reads_acc());
         assert!(!copy.writes_acc());
     }
@@ -844,7 +928,10 @@ mod tests {
             dst: Some(r(1)),
         };
         assert!(m.validate(IsaForm::Modified).is_ok());
-        assert_eq!(m.validate(IsaForm::Basic), Err(IInstError::DstGprInBasicForm));
+        assert_eq!(
+            m.validate(IsaForm::Basic),
+            Err(IInstError::DstGprInBasicForm)
+        );
     }
 
     #[test]
@@ -873,12 +960,13 @@ mod tests {
             dst: Some(r(3)),
         };
         assert_eq!(modified.size_bytes(IsaForm::Modified), 4);
+        assert_eq!(IInst::SetVpcBase { vaddr: 0 }.size_bytes(IsaForm::Basic), 8);
         assert_eq!(
-            IInst::SetVpcBase { vaddr: 0 }.size_bytes(IsaForm::Basic),
-            8
-        );
-        assert_eq!(
-            IInst::CopyToGpr { acc: a(0), dst: r(1) }.size_bytes(IsaForm::Basic),
+            IInst::CopyToGpr {
+                acc: a(0),
+                dst: r(1)
+            }
+            .size_bytes(IsaForm::Basic),
             2
         );
     }

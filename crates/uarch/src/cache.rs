@@ -98,7 +98,10 @@ impl Cache {
     /// Panics if the geometry is not a power-of-two set count or the line
     /// size is not a power of two.
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line_bytes.is_power_of_two(), "line size power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size power of two"
+        );
         let sets = config.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
@@ -317,7 +320,7 @@ mod tests {
             ways: 2,
             replacement: Replacement::Lru,
         }); // 2 sets, 2 ways
-        // Set 0 lines: 0, 128, 256 ...
+            // Set 0 lines: 0, 128, 256 ...
         c.access(0);
         c.access(128);
         c.access(0); // make 128 LRU

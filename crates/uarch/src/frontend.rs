@@ -223,8 +223,7 @@ impl Frontend {
             InstClass::IndirectJump | InstClass::IndirectCall => {
                 let pred_target = p.btb.predict(inst.pc);
                 p.btb.update(inst.pc, inst.next_pc);
-                if inst.class == InstClass::IndirectCall && p.config.use_ras && !p.config.dual_ras
-                {
+                if inst.class == InstClass::IndirectCall && p.config.use_ras && !p.config.dual_ras {
                     p.ras.push(inst.pc + inst.size as u64);
                 }
                 if pred_target != Some(inst.next_pc) {

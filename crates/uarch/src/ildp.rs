@@ -202,7 +202,11 @@ impl IldpModel {
                 let mut est = self.pe_tail_issue[pe] + 1;
                 for src in inst.srcs.iter().flatten() {
                     let g = self.gprs[*src as usize];
-                    let comm = if g.pe == pe { 0 } else { self.config.comm_latency };
+                    let comm = if g.pe == pe {
+                        0
+                    } else {
+                        self.config.comm_latency
+                    };
                     est = est.max(g.ready + comm);
                 }
                 if est < best_est {
@@ -266,7 +270,11 @@ impl TimingModel for IldpModel {
         }
         for src in inst.srcs.iter().flatten() {
             let g = self.gprs[*src as usize];
-            let comm = if g.pe == pe { 0 } else { self.config.comm_latency };
+            let comm = if g.pe == pe {
+                0
+            } else {
+                self.config.comm_latency
+            };
             if comm > 0 && g.ready + comm > ready {
                 self.comm_stalled_reads += 1;
             } else {
@@ -293,7 +301,10 @@ impl TimingModel for IldpModel {
             }
         }
         if let Some(dst) = inst.dst {
-            self.gprs[dst as usize] = GprState { ready: complete, pe };
+            self.gprs[dst as usize] = GprState {
+                ready: complete,
+                pe,
+            };
         }
         if inst.class == InstClass::Store {
             self.last_store_complete = complete;
@@ -425,7 +436,8 @@ mod tests {
 
     #[test]
     fn ipc_bounded_by_width() {
-        let insts = (0..10_000u64).map(|i| strand_inst(0x1000 + (i % 64) * 2, (i % 8) as u8, false));
+        let insts =
+            (0..10_000u64).map(|i| strand_inst(0x1000 + (i % 64) * 2, (i % 8) as u8, false));
         let stats = run(IldpConfig::default(), insts);
         assert!(stats.ipc() <= 4.0 + 1e-9);
         assert!(stats.ipc() > 2.0);

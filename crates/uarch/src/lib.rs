@@ -43,9 +43,7 @@ mod sched;
 mod superscalar;
 mod trace;
 
-pub use cache::{
-    Cache, CacheConfig, DataHierarchy, InstHierarchy, MemoryLatencies, Replacement,
-};
+pub use cache::{Cache, CacheConfig, DataHierarchy, InstHierarchy, MemoryLatencies, Replacement};
 pub use frontend::{FetchOutcome, Frontend, FrontendStats};
 pub use ildp::{IldpConfig, IldpModel};
 pub use predictors::{

@@ -34,7 +34,10 @@ impl Btb {
     ///
     /// Panics unless `entries` is a power-of-two multiple of `ways`.
     pub fn new(entries: usize, ways: usize) -> Btb {
-        assert!(ways > 0 && entries % ways == 0, "entries must divide by ways");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must divide by ways"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Btb {
@@ -68,14 +71,22 @@ impl Btb {
             return;
         }
         if set.len() < ways {
-            set.push(BtbEntry { pc, target, lru: stamp });
+            set.push(BtbEntry {
+                pc,
+                target,
+                lru: stamp,
+            });
             return;
         }
         let victim = set
             .iter_mut()
             .min_by_key(|e| e.lru)
             .expect("set is non-empty");
-        *victim = BtbEntry { pc, target, lru: stamp };
+        *victim = BtbEntry {
+            pc,
+            target,
+            lru: stamp,
+        };
     }
 }
 
@@ -96,7 +107,7 @@ mod tests {
     #[test]
     fn lru_replacement_within_set() {
         let mut btb = Btb::new(8, 2); // 4 sets, 2 ways
-        // These three PCs map to the same set (stride = sets*4 = 16).
+                                      // These three PCs map to the same set (stride = sets*4 = 16).
         btb.update(0x00, 1);
         btb.update(0x10, 2);
         assert_eq!(btb.predict(0x00), Some(1));

@@ -191,7 +191,7 @@ impl TimingModel for SuperscalarModel {
         self.v_instructions += inst.vcount as u64;
 
         self.prune_tick += 1;
-        if self.prune_tick % 4096 == 0 {
+        if self.prune_tick.is_multiple_of(4096) {
             // Nothing can issue before the ROB head's dispatch time; use a
             // conservative bound.
             self.issue_bw

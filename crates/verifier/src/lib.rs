@@ -1,0 +1,176 @@
+//! # ildp-verifier — static translation validation
+//!
+//! Checks every translated fragment **without executing it**, against the
+//! source superblock and the [`TranslationTrace`](ildp_core::TranslationTrace)
+//! the translator recorded. Four passes, each with its own rule-id space:
+//!
+//! 1. **Accumulator discipline** (`A..`, [`mod@self`]): abstract
+//!    interpretation over the emitted stream proving each accumulator is
+//!    written by exactly one strand between kills and every accumulator
+//!    read observes the planned value, in both ISA forms.
+//! 2. **Precise-state audit** (`P..`): modified form — every
+//!    result-producing instruction names its destination GPR; basic form —
+//!    every trap-window / live-out / communication value reaches its GPR
+//!    (copy or recovery-table entry) before any potentially-trapping
+//!    instruction, cross-checked against the
+//!    [`RecoveryEntry`](ildp_core::RecoveryEntry) metadata.
+//! 3. **Chaining integrity** (`C..`): patchable exits, the 3-instruction
+//!    software-prediction shape, dual-RAS push/return pairing, and (after
+//!    installation) direct-link/lookup agreement.
+//! 4. **Symbolic equivalence** (`E..`): a symbolic evaluator runs the
+//!    Alpha superblock and the I-ISA fragment side by side over symbolic
+//!    registers and memory, proving identical live-out GPR expressions,
+//!    memory/output effects, exit conditions and precise-trap state.
+//!
+//! The VM invokes these through its install-validator hook
+//! ([`ildp_core::VmConfig::validator`]); the `vlint` binary in
+//! `ildp-bench` runs them over every fragment of the full workload suite.
+//! With the `verify` feature disabled (it is on by default),
+//! [`install_validator`] accepts everything at zero cost.
+
+#![warn(missing_docs)]
+
+mod accdisc;
+mod chaining;
+mod precise;
+mod symbolic;
+
+use std::cell::RefCell;
+use std::fmt;
+
+use ildp_core::{
+    Fragment, InstallReview, Superblock, TranslatedCode, TranslationCache, Translator,
+};
+
+/// One violated translation invariant, with a structured diagnostic.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Stable rule identifier (`A01`, `P04`, `C02`, `E01`, ...).
+    pub rule: &'static str,
+    /// Entry V-address of the offending fragment.
+    pub vstart: u64,
+    /// Index of the offending emitted instruction, when the violation
+    /// anchors to one.
+    pub inst_index: Option<u32>,
+    /// What the invariant demanded.
+    pub expected: String,
+    /// What the fragment actually contains.
+    pub actual: String,
+}
+
+impl Violation {
+    fn new(
+        rule: &'static str,
+        vstart: u64,
+        inst_index: Option<usize>,
+        expected: impl Into<String>,
+        actual: impl Into<String>,
+    ) -> Violation {
+        Violation {
+            rule,
+            vstart,
+            inst_index: inst_index.map(|k| k as u32),
+            expected: expected.into(),
+            actual: actual.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] fragment {:#x}", self.rule, self.vstart)?;
+        if let Some(k) = self.inst_index {
+            write!(f, " inst {k}")?;
+        }
+        write!(f, ": expected {}, got {}", self.expected, self.actual)
+    }
+}
+
+/// Runs all four static passes over one freshly-emitted translation.
+///
+/// Returns every violation found (empty for a correct translation). This
+/// is the pre-install check — branch targets are still symbolic
+/// `call-translator` exits; [`verify_installed`] covers the patched,
+/// linked form.
+pub fn verify_translation(
+    sb: &Superblock,
+    code: &TranslatedCode,
+    tr: &Translator,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if code.trace.inst_node.len() != code.insts.len() {
+        out.push(Violation::new(
+            "A00",
+            code.vstart,
+            None,
+            format!("trace covering {} instructions", code.insts.len()),
+            format!("inst_node of length {}", code.trace.inst_node.len()),
+        ));
+        return out;
+    }
+    accdisc::check(code, tr, &mut out);
+    precise::check(code, tr, &mut out);
+    chaining::check_static(sb, code, tr, &mut out);
+    symbolic::check(sb, code, tr, &mut out);
+    out
+}
+
+/// Checks an installed fragment's chaining integrity against the cache:
+/// every resolved branch / dual-RAS target is the dispatch address or a
+/// valid fragment entry, and the install-time direct links agree with the
+/// instruction words in lockstep.
+pub fn verify_installed(cache: &TranslationCache, frag: &Fragment) -> Vec<Violation> {
+    chaining::check_installed(cache, frag)
+}
+
+thread_local! {
+    static REPORT: RefCell<Vec<Violation>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drains the violations recorded by [`collecting_validator`] (and by
+/// [`install_validator`] before it rejected) on this thread.
+pub fn take_report() -> Vec<Violation> {
+    REPORT.with(|r| std::mem::take(&mut *r.borrow_mut()))
+}
+
+fn record(violations: &[Violation]) {
+    if violations.is_empty() {
+        return;
+    }
+    REPORT.with(|r| r.borrow_mut().extend_from_slice(violations));
+}
+
+/// The install-time validator for [`ildp_core::VmConfig::validator`]:
+/// runs every pass and rejects the translation when any rule fires. The
+/// diagnostic string joins all violations; they are also recorded for
+/// [`take_report`]. A no-op accept when the `verify` feature is disabled.
+pub fn install_validator(review: &InstallReview<'_>) -> Result<(), String> {
+    #[cfg(feature = "verify")]
+    {
+        let violations = verify_translation(review.sb, review.code, review.translator);
+        if violations.is_empty() {
+            return Ok(());
+        }
+        record(&violations);
+        let msg = violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(msg)
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        let _ = review;
+        Ok(())
+    }
+}
+
+/// Like [`install_validator`] but never rejects: violations are recorded
+/// for [`take_report`] and the installation proceeds. Used by `vlint` to
+/// audit a whole run without changing its execution.
+pub fn collecting_validator(review: &InstallReview<'_>) -> Result<(), String> {
+    let violations = verify_translation(review.sb, review.code, review.translator);
+    record(&violations);
+    Ok(())
+}

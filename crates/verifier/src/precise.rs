@@ -1,0 +1,204 @@
+//! Pass 2 — precise-state audit (rules `P01`–`P05`).
+//!
+//! Walks the emitted stream tracking where each architected register's
+//! latest value lives (the register file, or still accumulator-resident)
+//! and what each accumulator currently holds. At every potentially
+//! trapping instruction the tracked state is cross-checked against the
+//! recorded recovery table:
+//!
+//! * `P01` — modified form: a result-producing instruction must name its
+//!   destination GPR (state is always architecturally precise);
+//! * `P02` — basic form: no instruction may carry a direct GPR
+//!   destination (results reach the file only through explicit copies);
+//! * `P03` — basic form: a global-category value must be copied to its
+//!   GPR immediately after production;
+//! * `P04` — basic form: a register whose value is accumulator-resident
+//!   at a trap point must have a matching recovery entry, and the
+//!   accumulator must still hold that value;
+//! * `P05` — a recovery table appears where none belongs (non-trapping
+//!   instruction, modified form) or carries entries for registers whose
+//!   value is not accumulator-resident.
+
+use crate::Violation;
+use ildp_core::{TranslatedCode, Translator, ValueId};
+use ildp_isa::{Acc, IInst, IsaForm};
+
+/// Where the latest value of an architected register lives.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum RegLoc {
+    /// In the register file (copied, directly written, or live-in).
+    File,
+    /// Produced into an accumulator, copy still pending.
+    InAcc(Acc, ValueId),
+}
+
+pub(crate) fn check(code: &TranslatedCode, tr: &Translator, out: &mut Vec<Violation>) {
+    let t = &code.trace;
+    let vstart = code.vstart;
+    let basic = tr.form == IsaForm::Basic;
+    let mut reg_loc = [RegLoc::File; 32];
+    let mut acc_value: [Option<ValueId>; Acc::MAX_ACCUMULATORS] = [None; Acc::MAX_ACCUMULATORS];
+
+    for (k, inst) in code.insts.iter().enumerate() {
+        let table = code.recovery.get(&(k as u32));
+
+        // --- audit the recovery table at this index -------------------
+        if inst.is_pei() {
+            if basic {
+                // Every accumulator-resident register value must be
+                // recoverable here.
+                for rn in 0..32u8 {
+                    let RegLoc::InAcc(a, v) = reg_loc[rn as usize] else {
+                        continue;
+                    };
+                    if acc_value[a.index()] != Some(v) {
+                        out.push(Violation::new(
+                            "P04",
+                            vstart,
+                            Some(k),
+                            format!("r{rn} value {v:?} still live in {a} at trap point"),
+                            format!("{a} clobbered before copy to r{rn}"),
+                        ));
+                        continue;
+                    }
+                    let covered = table
+                        .map(|es| es.iter().any(|e| e.reg.number() == rn && e.acc == a))
+                        .unwrap_or(false);
+                    if !covered {
+                        out.push(Violation::new(
+                            "P04",
+                            vstart,
+                            Some(k),
+                            format!("recovery entry r{rn} <- {a}"),
+                            "no entry in recovery table".to_string(),
+                        ));
+                    }
+                }
+                // And the table must claim nothing beyond that.
+                for e in table.map(|es| es.as_slice()).unwrap_or(&[]) {
+                    let justified = matches!(
+                        reg_loc[e.reg.number() as usize],
+                        RegLoc::InAcc(a, v) if a == e.acc && acc_value[a.index()] == Some(v)
+                    );
+                    if !justified {
+                        out.push(Violation::new(
+                            "P05",
+                            vstart,
+                            Some(k),
+                            format!("{} resident in the register file", e.reg),
+                            format!("spurious recovery entry {} <- {}", e.reg, e.acc),
+                        ));
+                    }
+                }
+            } else if table.is_some_and(|es| !es.is_empty()) {
+                out.push(Violation::new(
+                    "P05",
+                    vstart,
+                    Some(k),
+                    "no recovery table in modified form".to_string(),
+                    format!("{} entries", table.unwrap().len()),
+                ));
+            }
+        } else if table.is_some() {
+            out.push(Violation::new(
+                "P05",
+                vstart,
+                Some(k),
+                "recovery tables only at potentially-trapping instructions".to_string(),
+                format!("table at {inst:?}"),
+            ));
+        }
+
+        // --- per-form destination rules -------------------------------
+        let node = (!code.meta[k].is_chain)
+            .then(|| t.inst_node[k])
+            .flatten()
+            .map(|i| i as usize);
+        let produced = node.and_then(|i| t.df.produced[i]);
+        let dst_field = match *inst {
+            IInst::Op { dst, .. }
+            | IInst::Load { dst, .. }
+            | IInst::AddHigh { dst, .. }
+            | IInst::CmovSelect { dst, .. } => dst,
+            _ => None,
+        };
+        if basic {
+            if let Some(d) = dst_field {
+                out.push(Violation::new(
+                    "P02",
+                    vstart,
+                    Some(k),
+                    "no direct GPR destination in basic form".to_string(),
+                    format!("dst {d} on {inst:?}"),
+                ));
+            }
+        } else if let (Some(i), Some(v)) = (node, produced) {
+            if inst.writes_acc() && !matches!(inst, IInst::CopyFromGpr { .. }) {
+                let want = t.df.value(v).reg;
+                if want.is_some() && inst.gpr_write() != want {
+                    out.push(Violation::new(
+                        "P01",
+                        vstart,
+                        Some(k),
+                        format!("dst {want:?} for value {v:?} of node {i}"),
+                        format!("gpr write {:?}", inst.gpr_write()),
+                    ));
+                }
+            }
+        }
+
+        // --- apply this instruction's effects -------------------------
+        if let Some(a) = inst.acc() {
+            if inst.writes_acc() {
+                acc_value[a.index()] = None;
+            }
+        }
+        match *inst {
+            IInst::CopyToGpr { dst, .. } => reg_loc[dst.number() as usize] = RegLoc::File,
+            IInst::SaveVReturn { dst, .. } => reg_loc[dst.number() as usize] = RegLoc::File,
+            _ => {
+                if let (Some(i), Some(v)) = (node, produced) {
+                    if inst.writes_acc() && !matches!(inst, IInst::CopyFromGpr { .. }) {
+                        let a = inst.acc().expect("acc-writing instruction names one");
+                        acc_value[a.index()] = Some(v);
+                        if let Some(reg) = t.df.value(v).reg {
+                            if reg.number() != 31 {
+                                reg_loc[reg.number() as usize] = if basic {
+                                    RegLoc::InAcc(a, v)
+                                } else {
+                                    RegLoc::File
+                                };
+                            }
+                        }
+                        // P03: global-category values must be copied out
+                        // immediately (the emitter's post-copy).
+                        if basic {
+                            if let Some(reg) = t.df.value(v).reg {
+                                let cat = t.plan.final_category[v.0 as usize];
+                                if cat.is_global() {
+                                    let next_copies = matches!(
+                                        code.insts.get(k + 1),
+                                        Some(IInst::CopyToGpr { acc, dst })
+                                            if *dst == reg && Some(*acc) == inst.acc()
+                                    );
+                                    if !next_copies {
+                                        out.push(Violation::new(
+                                            "P03",
+                                            vstart,
+                                            Some(k),
+                                            format!(
+                                                "copy-to-GPR of {cat:?} value {v:?} to {reg} \
+                                                 immediately after node {i}"
+                                            ),
+                                            format!("{:?}", code.insts.get(k + 1)),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Clean translations pass all four passes; seeded miscompiles are each
+//! caught by the pass that owns the violated invariant.
+
+use alpha_isa::{BranchOp, Inst, JumpKind, MemOp, Operand, OperateOp, Reg};
+use ildp_core::{
+    ChainPolicy, CollectedFlow, SbEnd, SbInst, Superblock, TranslatedCode, Translator,
+};
+use ildp_isa::{IInst, ITarget, IsaForm};
+use ildp_verifier::{verify_translation, Violation};
+
+fn r(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+fn seq(vaddr: u64, inst: Inst) -> SbInst {
+    SbInst {
+        vaddr,
+        inst,
+        flow: CollectedFlow::Sequential,
+    }
+}
+
+/// The paper's Figure 2 inner loop: loads, ALU work, a backward taken
+/// branch ending the block.
+fn fig2_superblock() -> Superblock {
+    let base = 0x1_0000u64;
+    let mk = |i: u64, inst: Inst| seq(base + i * 4, inst);
+    let mut insts = vec![
+        mk(
+            0,
+            Inst::Mem {
+                op: MemOp::Ldbu,
+                ra: r(3),
+                rb: r(16),
+                disp: 0,
+            },
+        ),
+        mk(
+            1,
+            Inst::Operate {
+                op: OperateOp::Subl,
+                ra: r(17),
+                rb: Operand::Lit(1),
+                rc: r(17),
+            },
+        ),
+        mk(
+            2,
+            Inst::Mem {
+                op: MemOp::Lda,
+                ra: r(16),
+                rb: r(16),
+                disp: 1,
+            },
+        ),
+        mk(
+            3,
+            Inst::Operate {
+                op: OperateOp::Xor,
+                ra: r(1),
+                rb: Operand::Reg(r(3)),
+                rc: r(3),
+            },
+        ),
+        mk(
+            4,
+            Inst::Operate {
+                op: OperateOp::Srl,
+                ra: r(1),
+                rb: Operand::Lit(8),
+                rc: r(1),
+            },
+        ),
+        mk(
+            5,
+            Inst::Operate {
+                op: OperateOp::And,
+                ra: r(3),
+                rb: Operand::Lit(0xff),
+                rc: r(3),
+            },
+        ),
+        mk(
+            6,
+            Inst::Operate {
+                op: OperateOp::S8addq,
+                ra: r(3),
+                rb: Operand::Reg(r(0)),
+                rc: r(3),
+            },
+        ),
+        mk(
+            7,
+            Inst::Mem {
+                op: MemOp::Ldq,
+                ra: r(3),
+                rb: r(3),
+                disp: 0,
+            },
+        ),
+        mk(
+            8,
+            Inst::Operate {
+                op: OperateOp::Xor,
+                ra: r(3),
+                rb: Operand::Reg(r(1)),
+                rc: r(1),
+            },
+        ),
+    ];
+    insts.push(SbInst {
+        vaddr: base + 9 * 4,
+        inst: Inst::Branch {
+            op: BranchOp::Bne,
+            ra: r(17),
+            disp: -10,
+        },
+        flow: CollectedFlow::CondTaken {
+            taken_target: base,
+            fallthrough: base + 10 * 4,
+        },
+    });
+    Superblock {
+        start: base,
+        insts,
+        end: SbEnd::BackwardTakenBranch {
+            target: base,
+            fallthrough: base + 10 * 4,
+        },
+    }
+}
+
+/// A block ending in a return (exercises every indirect-exit flavor).
+fn ret_superblock() -> Superblock {
+    let base = 0x2_0000u64;
+    let insts = vec![
+        seq(
+            base,
+            Inst::Operate {
+                op: OperateOp::Addq,
+                ra: r(1),
+                rb: Operand::Lit(8),
+                rc: r(1),
+            },
+        ),
+        SbInst {
+            vaddr: base + 4,
+            inst: Inst::Jump {
+                kind: JumpKind::Ret,
+                ra: r(31),
+                rb: r(26),
+                hint: 0,
+            },
+            flow: CollectedFlow::Indirect {
+                kind: JumpKind::Ret,
+                target: 0x3_0000,
+            },
+        },
+    ];
+    Superblock {
+        start: base,
+        insts,
+        end: SbEnd::IndirectJump,
+    }
+}
+
+/// A block ending in an indirect call (`jsr`): return-address save plus
+/// software target prediction.
+fn jsr_superblock() -> Superblock {
+    let base = 0x4_0000u64;
+    let insts = vec![
+        seq(
+            base,
+            Inst::Operate {
+                op: OperateOp::Addq,
+                ra: r(9),
+                rb: Operand::Lit(1),
+                rc: r(9),
+            },
+        ),
+        SbInst {
+            vaddr: base + 4,
+            inst: Inst::Jump {
+                kind: JumpKind::Jsr,
+                ra: r(26),
+                rb: r(27),
+                hint: 0,
+            },
+            flow: CollectedFlow::Indirect {
+                kind: JumpKind::Jsr,
+                target: 0x5_0000,
+            },
+        },
+    ];
+    Superblock {
+        start: base,
+        insts,
+        end: SbEnd::IndirectJump,
+    }
+}
+
+/// A block containing conditional-move and store traffic plus a halt.
+fn cmov_store_superblock() -> Superblock {
+    let base = 0x6_0000u64;
+    let insts = vec![
+        seq(
+            base,
+            Inst::Operate {
+                op: OperateOp::Cmoveq,
+                ra: r(2),
+                rb: Operand::Reg(r(3)),
+                rc: r(4),
+            },
+        ),
+        seq(
+            base + 4,
+            Inst::Mem {
+                op: MemOp::Stq,
+                ra: r(4),
+                rb: r(30),
+                disp: 16,
+            },
+        ),
+        seq(
+            base + 8,
+            Inst::CallPal {
+                func: alpha_isa::PalFunc::Halt,
+            },
+        ),
+    ];
+    Superblock {
+        start: base,
+        insts,
+        end: SbEnd::Halt,
+    }
+}
+
+/// Two live-in GPR sources force a planned copy-from-GPR.
+fn two_gpr_superblock() -> Superblock {
+    let base = 0x7_0000u64;
+    let insts = vec![seq(
+        base,
+        Inst::Operate {
+            op: OperateOp::Addq,
+            ra: r(1),
+            rb: Operand::Reg(r(2)),
+            rc: r(3),
+        },
+    )];
+    Superblock {
+        start: base,
+        insts,
+        end: SbEnd::Cycle { next: base + 4 },
+    }
+}
+
+fn translate(sb: &Superblock, form: IsaForm, chain: ChainPolicy) -> (TranslatedCode, Translator) {
+    let tr = Translator {
+        form,
+        chain,
+        acc_count: 4,
+        fuse_memory: false,
+    };
+    (tr.translate(sb), tr)
+}
+
+fn rules(vs: &[Violation]) -> Vec<&'static str> {
+    vs.iter().map(|v| v.rule).collect()
+}
+
+fn assert_clean(sb: &Superblock, form: IsaForm, chain: ChainPolicy) {
+    let (code, tr) = translate(sb, form, chain);
+    let vs = verify_translation(sb, &code, &tr);
+    assert!(
+        vs.is_empty(),
+        "{form:?}/{chain:?} translation of {:#x} should verify clean:\n{}",
+        sb.start,
+        vs.iter().map(|v| format!("  {v}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn clean_translations_verify_clean_in_every_configuration() {
+    for sb in [
+        fig2_superblock(),
+        ret_superblock(),
+        jsr_superblock(),
+        cmov_store_superblock(),
+        two_gpr_superblock(),
+    ] {
+        for form in [IsaForm::Basic, IsaForm::Modified] {
+            for chain in [
+                ChainPolicy::NoPred,
+                ChainPolicy::SwPred,
+                ChainPolicy::SwPredDualRas,
+            ] {
+                assert_clean(&sb, form, chain);
+            }
+        }
+    }
+}
+
+// --- pass 1: accumulator discipline ----------------------------------
+
+#[test]
+fn a01_wrong_accumulator_is_caught() {
+    let sb = fig2_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| matches!(i, IInst::Op { .. }))
+        .unwrap();
+    if let IInst::Op { acc, .. } = &mut code.insts[k] {
+        *acc = ildp_isa::Acc::new((acc.index() as u8 + 1) % 4);
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"A01"), "got {:?}", rules(&vs));
+}
+
+#[test]
+fn a05_wrong_precopy_source_is_caught() {
+    let sb = two_gpr_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Basic, ChainPolicy::SwPredDualRas);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| matches!(i, IInst::CopyFromGpr { .. }))
+        .expect("a two-GPR-source node starts its strand with a pre-copy");
+    if let IInst::CopyFromGpr { src, .. } = &mut code.insts[k] {
+        *src = r(13);
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"A05"), "got {:?}", rules(&vs));
+}
+
+// --- pass 2: precise state -------------------------------------------
+
+#[test]
+fn p01_dropped_destination_in_modified_form_is_caught() {
+    let sb = fig2_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| matches!(i, IInst::Op { dst: Some(_), .. }))
+        .unwrap();
+    if let IInst::Op { dst, .. } = &mut code.insts[k] {
+        *dst = None;
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"P01"), "got {:?}", rules(&vs));
+}
+
+#[test]
+fn p04_missing_recovery_entry_is_caught() {
+    let sb = fig2_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Basic, ChainPolicy::SwPredDualRas);
+    let (&k, _) = code
+        .recovery
+        .iter()
+        .find(|(_, es)| !es.is_empty())
+        .expect("basic-form fig2 has recovery state at the ldq");
+    code.recovery.get_mut(&k).unwrap().pop();
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"P04"), "got {:?}", rules(&vs));
+}
+
+#[test]
+fn p05_spurious_recovery_table_is_caught() {
+    let sb = fig2_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    // Modified form keeps all state in the file: any table is spurious.
+    let k = code
+        .insts
+        .iter()
+        .position(|i| i.is_pei())
+        .expect("fig2 has loads");
+    code.recovery
+        .entry(k as u32)
+        .or_default()
+        .push(ildp_core::RecoveryEntry {
+            reg: r(3),
+            acc: ildp_isa::Acc::new(0),
+        });
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"P05"), "got {:?}", rules(&vs));
+}
+
+// --- pass 3: chaining ------------------------------------------------
+
+#[test]
+fn c02_broken_swpred_compare_is_caught() {
+    let sb = jsr_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPred);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| {
+            matches!(
+                i,
+                IInst::Op {
+                    op: OperateOp::Cmpeq,
+                    ..
+                }
+            )
+        })
+        .expect("sw-pred group contains the compare");
+    if let IInst::Op { op, .. } = &mut code.insts[k] {
+        *op = OperateOp::Cmpule;
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"C02"), "got {:?}", rules(&vs));
+}
+
+#[test]
+fn c03_wrong_ras_return_address_is_caught() {
+    let sb = jsr_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| matches!(i, IInst::PushDualRas { .. }))
+        .expect("dual-RAS policy pushes on the call");
+    if let IInst::PushDualRas { iret, .. } = &mut code.insts[k] {
+        *iret = ITarget::Addr(0);
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"C03"), "got {:?}", rules(&vs));
+}
+
+#[test]
+fn c04_unbacked_predicted_return_is_caught() {
+    let sb = ret_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| matches!(i, IInst::Dispatch { .. }))
+        .expect("the predicted return has a dispatch fallback");
+    if let IInst::Dispatch { src, .. } = &mut code.insts[k] {
+        *src = ildp_isa::ASrc::Gpr(r(7));
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"C04"), "got {:?}", rules(&vs));
+}
+
+// --- pass 4: symbolic equivalence ------------------------------------
+
+#[test]
+fn e03_wrong_exit_target_is_caught() {
+    let sb = fig2_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| matches!(i, IInst::CallTranslator { .. }))
+        .unwrap();
+    if let IInst::CallTranslator { vtarget } = &mut code.insts[k] {
+        *vtarget += 4;
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    let rs = rules(&vs);
+    assert!(rs.contains(&"E03"), "got {rs:?}");
+    // Only the symbolic pass can see this: the structure is intact.
+    assert!(rs.iter().all(|r| r.starts_with('E')), "got {rs:?}");
+}
+
+#[test]
+fn e01_wrong_copy_destination_is_caught() {
+    let sb = fig2_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Basic, ChainPolicy::SwPredDualRas);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| matches!(i, IInst::CopyToGpr { .. }))
+        .unwrap();
+    if let IInst::CopyToGpr { dst, .. } = &mut code.insts[k] {
+        *dst = r(9);
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    assert!(rules(&vs).contains(&"E01"), "got {:?}", rules(&vs));
+}
+
+#[test]
+fn e04_wrong_store_displacement_is_caught() {
+    let sb = cmov_store_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    let k = code
+        .insts
+        .iter()
+        .position(|i| matches!(i, IInst::Store { .. }))
+        .unwrap();
+    if let IInst::Store { disp, .. } = &mut code.insts[k] {
+        *disp += 8;
+    }
+    let vs = verify_translation(&sb, &code, &tr);
+    let rs = rules(&vs);
+    assert!(rs.contains(&"E04"), "got {rs:?}");
+}
+
+#[test]
+fn violations_carry_structured_diagnostics() {
+    let sb = fig2_superblock();
+    let (mut code, tr) = translate(&sb, IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    if let IInst::CallTranslator { vtarget } = code.insts.last_mut().unwrap() {
+        *vtarget += 4;
+    }
+    let v = &verify_translation(&sb, &code, &tr)[0];
+    assert_eq!(v.vstart, sb.start);
+    assert!(!v.expected.is_empty() && !v.actual.is_empty());
+    let shown = v.to_string();
+    assert!(
+        shown.contains("E0") && shown.contains("expected"),
+        "{shown}"
+    );
+}

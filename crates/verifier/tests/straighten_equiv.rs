@@ -1,0 +1,200 @@
+//! Property test: the same body of instructions, collected in either
+//! layout — unstraightened (the conditional branch was observed
+//! not-taken and the block continues at the fall-through) or
+//! straightened (the branch was observed taken and the tail of the
+//! block lives at the taken target, with the condition reversed by the
+//! translator) — always translates to a fragment that the verifier,
+//! including the symbolic-equivalence pass, proves equal to its source
+//! superblock, under every ISA form and chaining policy.
+
+use alpha_isa::{BranchOp, Inst, MemOp, Operand, OperateOp, Reg};
+use ildp_core::{ChainPolicy, CollectedFlow, SbEnd, SbInst, Superblock, Translator};
+use ildp_isa::IsaForm;
+use ildp_verifier::verify_translation;
+use proptest::prelude::*;
+
+const BASE: u64 = 0x1_0000;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (1u8..11).prop_map(Reg::new)
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        (0u8..64).prop_map(Operand::Lit),
+    ]
+}
+
+fn alu_op() -> impl Strategy<Value = OperateOp> {
+    prop_oneof![
+        Just(OperateOp::Addq),
+        Just(OperateOp::Subq),
+        Just(OperateOp::Xor),
+        Just(OperateOp::And),
+        Just(OperateOp::Bis),
+        Just(OperateOp::S8addq),
+        Just(OperateOp::Cmplt),
+        Just(OperateOp::Srl),
+        Just(OperateOp::Mull),
+    ]
+}
+
+fn cmov_op() -> impl Strategy<Value = OperateOp> {
+    prop_oneof![
+        Just(OperateOp::Cmoveq),
+        Just(OperateOp::Cmovne),
+        Just(OperateOp::Cmovlt),
+        Just(OperateOp::Cmovge),
+        Just(OperateOp::Cmovlbs),
+        Just(OperateOp::Cmovlbc),
+    ]
+}
+
+fn load_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![Just(MemOp::Ldq), Just(MemOp::Ldl), Just(MemOp::Ldbu)]
+}
+
+fn store_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![Just(MemOp::Stq), Just(MemOp::Stl)]
+}
+
+fn body_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        4 => (alu_op(), reg(), operand(), reg())
+            .prop_map(|(op, ra, rb, rc)| Inst::Operate { op, ra, rb, rc }),
+        1 => (cmov_op(), reg(), operand(), reg())
+            .prop_map(|(op, ra, rb, rc)| Inst::Operate { op, ra, rb, rc }),
+        1 => (reg(), reg(), -64i16..64)
+            .prop_map(|(ra, rb, disp)| Inst::Mem { op: MemOp::Lda, ra, rb, disp }),
+        1 => (load_op(), reg(), reg(), (-8i16..8).prop_map(|d| d * 8))
+            .prop_map(|(op, ra, rb, disp)| Inst::Mem { op, ra, rb, disp }),
+        1 => (store_op(), reg(), reg(), (-8i16..8).prop_map(|d| d * 8))
+            .prop_map(|(op, ra, rb, disp)| Inst::Mem { op, ra, rb, disp }),
+    ]
+}
+
+fn branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Beq),
+        Just(BranchOp::Bne),
+        Just(BranchOp::Blt),
+        Just(BranchOp::Bge),
+        Just(BranchOp::Ble),
+        Just(BranchOp::Bgt),
+        Just(BranchOp::Blbs),
+        Just(BranchOp::Blbc),
+    ]
+}
+
+/// Instruction-count displacement encoding the given branch target.
+fn disp_to(branch_vaddr: u64, target: u64) -> i32 {
+    ((target as i64 - (branch_vaddr as i64 + 4)) / 4) as i32
+}
+
+fn sequential_run(insts: &[Inst], mut va: u64, out: &mut Vec<SbInst>) -> u64 {
+    for &inst in insts {
+        out.push(SbInst {
+            vaddr: va,
+            inst,
+            flow: CollectedFlow::Sequential,
+        });
+        va += 4;
+    }
+    va
+}
+
+/// The branch was observed not-taken: the block stays in source layout
+/// and the taken target is the side exit.
+fn unstraightened(prefix: &[Inst], bop: BranchOp, br: Reg, suffix: &[Inst]) -> Superblock {
+    let taken_target = BASE + 0x800;
+    let mut insts = Vec::new();
+    let va = sequential_run(prefix, BASE, &mut insts);
+    insts.push(SbInst {
+        vaddr: va,
+        inst: Inst::Branch {
+            op: bop,
+            ra: br,
+            disp: disp_to(va, taken_target),
+        },
+        flow: CollectedFlow::CondNotTaken { taken_target },
+    });
+    let next = sequential_run(suffix, va + 4, &mut insts);
+    Superblock {
+        start: BASE,
+        insts,
+        end: SbEnd::Cycle { next },
+    }
+}
+
+/// The branch was observed taken: the collector followed the taken edge,
+/// so the suffix lives at the branch target and the original
+/// fall-through becomes the side exit (condition reversed on
+/// translation).
+fn straightened(prefix: &[Inst], bop: BranchOp, br: Reg, suffix: &[Inst]) -> Superblock {
+    let target = BASE + 0x800;
+    let mut insts = Vec::new();
+    let va = sequential_run(prefix, BASE, &mut insts);
+    insts.push(SbInst {
+        vaddr: va,
+        inst: Inst::Branch {
+            op: bop,
+            ra: br,
+            disp: disp_to(va, target),
+        },
+        flow: CollectedFlow::CondTaken {
+            taken_target: target,
+            fallthrough: va + 4,
+        },
+    });
+    let next = sequential_run(suffix, target, &mut insts);
+    Superblock {
+        start: BASE,
+        insts,
+        end: SbEnd::Cycle { next },
+    }
+}
+
+fn check(prefix: &[Inst], bop: BranchOp, br: Reg, suffix: &[Inst]) {
+    for (layout, sb) in [
+        ("unstraightened", unstraightened(prefix, bop, br, suffix)),
+        ("straightened", straightened(prefix, bop, br, suffix)),
+    ] {
+        for form in [IsaForm::Basic, IsaForm::Modified] {
+            for chain in [
+                ChainPolicy::NoPred,
+                ChainPolicy::SwPred,
+                ChainPolicy::SwPredDualRas,
+            ] {
+                let tr = Translator {
+                    form,
+                    chain,
+                    acc_count: 4,
+                    fuse_memory: false,
+                };
+                let code = tr.translate(&sb);
+                let vs = verify_translation(&sb, &code, &tr);
+                assert!(
+                    vs.is_empty(),
+                    "{layout} ({form:?}, {chain:?}) fails verification:\n{}\nblock: {:#x?}",
+                    vs.iter().map(|v| format!("  {v}\n")).collect::<String>(),
+                    sb.insts
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn both_layouts_verify_clean(
+        prefix in prop::collection::vec(body_inst(), 0..8),
+        bop in branch_op(),
+        br in reg(),
+        suffix in prop::collection::vec(body_inst(), 0..8),
+    ) {
+        check(&prefix, bop, br, &suffix);
+    }
+}

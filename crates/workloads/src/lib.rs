@@ -79,8 +79,8 @@ pub fn by_name(name: &str, scale: u32) -> Option<Workload> {
 
 /// The names of the suite in canonical order.
 pub const NAMES: [&str; 12] = [
-    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex",
-    "bzip2", "twolf",
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex", "bzip2",
+    "twolf",
 ];
 
 #[cfg(test)]
@@ -92,8 +92,14 @@ mod tests {
     fn every_workload_runs_to_halt_within_budget() {
         for w in suite(1) {
             let (mut cpu, mut mem) = w.program.load();
-            let stats = run_to_halt(&mut cpu, &mut mem, &w.program, AlignPolicy::Enforce, w.budget)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let stats = run_to_halt(
+                &mut cpu,
+                &mut mem,
+                &w.program,
+                AlignPolicy::Enforce,
+                w.budget,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert!(
                 stats.instructions > 3_000,
                 "{} too small: {} instructions",
@@ -110,8 +116,14 @@ mod tests {
             let w2 = by_name(name, 1).unwrap();
             let run = |w: &Workload| {
                 let (mut cpu, mut mem) = w.program.load();
-                run_to_halt(&mut cpu, &mut mem, &w.program, AlignPolicy::Enforce, w.budget)
-                    .unwrap();
+                run_to_halt(
+                    &mut cpu,
+                    &mut mem,
+                    &w.program,
+                    AlignPolicy::Enforce,
+                    w.budget,
+                )
+                .unwrap();
                 cpu.registers()
             };
             assert_eq!(run(&w1), run(&w2), "{name} must be deterministic");
@@ -124,9 +136,15 @@ mod tests {
         let long = loops::gzip(3);
         let count = |w: &Workload| {
             let (mut cpu, mut mem) = w.program.load();
-            run_to_halt(&mut cpu, &mut mem, &w.program, AlignPolicy::Enforce, w.budget)
-                .unwrap()
-                .instructions
+            run_to_halt(
+                &mut cpu,
+                &mut mem,
+                &w.program,
+                AlignPolicy::Enforce,
+                w.budget,
+            )
+            .unwrap()
+            .instructions
         };
         assert!(count(&long) > count(&short) * 2);
     }
@@ -136,9 +154,14 @@ mod tests {
         for name in ["gcc", "perlbmk", "vortex", "eon", "parser"] {
             let w = by_name(name, 1).unwrap();
             let (mut cpu, mut mem) = w.program.load();
-            let stats =
-                run_to_halt(&mut cpu, &mut mem, &w.program, AlignPolicy::Enforce, w.budget)
-                    .unwrap();
+            let stats = run_to_halt(
+                &mut cpu,
+                &mut mem,
+                &w.program,
+                AlignPolicy::Enforce,
+                w.budget,
+            )
+            .unwrap();
             assert!(
                 stats.indirect_jumps > 100,
                 "{name}: only {} indirect jumps",

@@ -88,7 +88,9 @@ pub fn bzip2(scale: u32) -> Workload {
     let mut rng = XorShift::new(0xb217);
     let buf_len = 1024usize;
     // Low-entropy input (repeats) so move-to-front hits near the front.
-    let data: Vec<u8> = (0..buf_len).map(|i| (rng.next_u64() % 24) as u8 * ((i % 3) as u8 + 1)).collect();
+    let data: Vec<u8> = (0..buf_len)
+        .map(|i| (rng.next_u64() % 24) as u8 * ((i % 3) as u8 + 1))
+        .collect();
     let buf = asm.data_block(data);
     let hist = asm.zero_block(256 * 8);
     let mtf: Vec<u8> = (0..=255u8).collect();
@@ -135,8 +137,8 @@ pub fn bzip2(scale: u32) -> Workload {
     asm.addq_imm(T3, 1, T3);
     asm.bind(found);
     asm.addq(V0, T3, V0); // emit position as checksum
-    // Shift table entries [0, pos) up by one (back to front), then put
-    // the symbol at the front.
+                          // Shift table entries [0, pos) up by one (back to front), then put
+                          // the symbol at the front.
     asm.li32(T5, mtf_tbl as u32);
     asm.addq(T5, T3, T5); // cursor at pos
     let shift = asm.here("mtf_shift");
@@ -179,14 +181,14 @@ pub fn crafty(scale: u32) -> Workload {
     asm.lda_imm(A1, 128);
     let top = asm.here("board_top");
     asm.ldq(T0, 0, A0); // board
-    // "Attack" generation: shifted copies combined.
+                        // "Attack" generation: shifted copies combined.
     asm.sll_imm(T0, 8, T1);
     asm.srl_imm(T0, 8, T2);
     asm.bis(T1, T2, T1);
     asm.sll_imm(T0, 1, T2);
     asm.bis(T1, T2, T1);
     asm.bic(T1, T0, T1); // exclude own squares
-    // Popcount (Kernighan), unrolled by two: while (x) { x &= x-1; n++ }
+                         // Popcount (Kernighan), unrolled by two: while (x) { x &= x-1; n++ }
     asm.clr(T3);
     let pop = asm.here("pop");
     let pop_done = asm.label("pop_done");

@@ -217,7 +217,7 @@ pub fn parser(scale: u32) -> Workload {
     asm.lda(S0, 1, S0);
     let end = asm.label("end");
     asm.beq(T0, end); // NUL: done
-    // Is it a letter? (t0 >= 'a')
+                      // Is it a letter? (t0 >= 'a')
     let sep = asm.label("sep");
     asm.cmplt_imm(T0, 97, T1);
     asm.bne(T1, sep);

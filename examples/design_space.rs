@@ -14,10 +14,7 @@ use spec_workloads::by_name;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "gzip".to_string());
-    let scale: u32 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
     let Some(w) = by_name(&name, scale) else {
         eprintln!(
             "unknown workload `{name}`; one of: {}",

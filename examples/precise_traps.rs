@@ -41,11 +41,19 @@ fn main() {
     let (mut cpu, mut mem) = program.load();
     let err = run_to_halt(&mut cpu, &mut mem, &program, AlignPolicy::Enforce, 100_000)
         .expect_err("the stride must trap");
-    let RunError::Trapped { pc: ref_pc, trap: ref_trap } = err else {
+    let RunError::Trapped {
+        pc: ref_pc,
+        trap: ref_trap,
+    } = err
+    else {
         panic!("expected a trap, got {err}")
     };
     println!("interpreter trap     : {ref_trap} at V-PC {ref_pc:#x}");
-    println!("interpreter registers: a1={} v0={}\n", cpu.read(Reg::A1), cpu.read(Reg::V0));
+    println!(
+        "interpreter registers: a1={} v0={}\n",
+        cpu.read(Reg::A1),
+        cpu.read(Reg::V0)
+    );
 
     for form in [IsaForm::Basic, IsaForm::Modified] {
         let config = VmConfig {

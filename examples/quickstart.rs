@@ -13,7 +13,9 @@ use ildp_uarch::{IldpConfig, IldpModel, TimingModel};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Assemble a guest program: sum an array of 64-bit values.
     let mut asm = Assembler::new(0x1_0000);
-    let data: Vec<u8> = (0..1024u64).flat_map(|i| (i * 3 + 1).to_le_bytes()).collect();
+    let data: Vec<u8> = (0..1024u64)
+        .flat_map(|i| (i * 3 + 1).to_le_bytes())
+        .collect();
     let array = asm.data_block(data);
 
     asm.lda_imm(Reg::A1, 200); // outer repeats
@@ -47,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("guest result          : {}", vm.cpu().read(Reg::V0));
     println!("fragments translated  : {}", vm.stats().fragments);
-    println!("interpreted (cold)    : {} instructions", vm.stats().interpreted);
+    println!(
+        "interpreted (cold)    : {} instructions",
+        vm.stats().interpreted
+    );
     println!(
         "translated (hot)      : {} V-ISA instructions -> {} I-ISA instructions ({:.2}x)",
         vm.stats().engine.v_insts,

@@ -74,7 +74,14 @@ fn run_with_flush(form: IsaForm, policy: FlushPolicy) -> (u64, [u64; 32]) {
 fn aggressive_flushing_preserves_architecture() {
     let program = two_phase_program();
     let (mut rcpu, mut rmem) = program.load();
-    run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 1_000_000).unwrap();
+    run_to_halt(
+        &mut rcpu,
+        &mut rmem,
+        &program,
+        AlignPolicy::Enforce,
+        1_000_000,
+    )
+    .unwrap();
     for form in [IsaForm::Basic, IsaForm::Modified] {
         // A policy so tight that every few fragments trigger a flush.
         let (flushes, regs) = run_with_flush(
@@ -92,7 +99,10 @@ fn aggressive_flushing_preserves_architecture() {
 #[test]
 fn loose_policy_never_fires() {
     let (flushes, _) = run_with_flush(IsaForm::Modified, FlushPolicy::default());
-    assert_eq!(flushes, 0, "default policy must not fire on a small program");
+    assert_eq!(
+        flushes, 0,
+        "default policy must not fire on a small program"
+    );
 }
 
 #[test]

@@ -162,7 +162,14 @@ fn console_output_is_preserved_by_translation() {
 fn straightened_and_original_agree_on_checksum() {
     let program = call_program(300);
     let (mut rcpu, mut rmem) = program.load();
-    run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000).unwrap();
+    run_to_halt(
+        &mut rcpu,
+        &mut rmem,
+        &program,
+        AlignPolicy::Enforce,
+        100_000,
+    )
+    .unwrap();
     for chain in [
         ChainPolicy::NoPred,
         ChainPolicy::SwPred,
@@ -204,7 +211,11 @@ fn jump_through_zero_register_does_not_panic_the_translator() {
         panic!("{err}")
     };
 
-    for chain in [ChainPolicy::NoPred, ChainPolicy::SwPred, ChainPolicy::SwPredDualRas] {
+    for chain in [
+        ChainPolicy::NoPred,
+        ChainPolicy::SwPred,
+        ChainPolicy::SwPredDualRas,
+    ] {
         let mut vm = Vm::new(vm_config(chain), &program);
         let exit = vm.run(10_000, &mut NullSink);
         let VmExit::Trapped { vaddr, trap: t, .. } = exit else {

@@ -12,8 +12,14 @@ use spec_workloads::{suite, Workload};
 
 fn reference_registers(w: &Workload) -> [u64; 32] {
     let (mut cpu, mut mem) = w.program.load();
-    run_to_halt(&mut cpu, &mut mem, &w.program, AlignPolicy::Enforce, w.budget)
-        .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", w.name));
+    run_to_halt(
+        &mut cpu,
+        &mut mem,
+        &w.program,
+        AlignPolicy::Enforce,
+        w.budget,
+    )
+    .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", w.name));
     cpu.registers()
 }
 
@@ -23,8 +29,8 @@ fn vm_config(form: IsaForm, chain: ChainPolicy) -> VmConfig {
             form,
             chain,
             acc_count: 4,
-        fuse_memory: false,
-    },
+            fuse_memory: false,
+        },
         // A low threshold so even short test runs spend most instructions
         // in translated code.
         profile: ProfileConfig {
@@ -93,7 +99,12 @@ fn eight_accumulators_match_interpreter() {
         let mut vm = Vm::new(config, &w.program);
         let exit = vm.run(w.budget * 2, &mut NullSink);
         assert_eq!(exit, VmExit::Halted, "{} with 8 accumulators", w.name);
-        assert_eq!(vm.cpu().registers(), expect, "{} with 8 accumulators", w.name);
+        assert_eq!(
+            vm.cpu().registers(),
+            expect,
+            "{} with 8 accumulators",
+            w.name
+        );
     }
 }
 

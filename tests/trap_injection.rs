@@ -72,8 +72,14 @@ fn trapping_program(trap_at: i16, body_variant: u8) -> Program {
 fn check_trap(trap_at: i16, variant: u8, form: IsaForm, acc_count: usize) {
     let program = trapping_program(trap_at, variant);
     let (mut rcpu, mut rmem) = program.load();
-    let err = run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000)
-        .expect_err("the program must trap");
+    let err = run_to_halt(
+        &mut rcpu,
+        &mut rmem,
+        &program,
+        AlignPolicy::Enforce,
+        100_000,
+    )
+    .expect_err("the program must trap");
     let RunError::Trapped {
         pc: ref_pc,
         trap: ref_trap,
@@ -174,8 +180,14 @@ fn unaligned_traps_recover_in_all_workload_like_shapes() {
         let program = asm.finish().unwrap();
 
         let (mut rcpu, mut rmem) = program.load();
-        let err = run_to_halt(&mut rcpu, &mut rmem, &program, AlignPolicy::Enforce, 100_000)
-            .expect_err("must trap at iteration 77");
+        let err = run_to_halt(
+            &mut rcpu,
+            &mut rmem,
+            &program,
+            AlignPolicy::Enforce,
+            100_000,
+        )
+        .expect_err("must trap at iteration 77");
         let RunError::Trapped { pc, trap } = err else {
             panic!("{err}")
         };
@@ -194,11 +206,54 @@ fn unaligned_traps_recover_in_all_workload_like_shapes() {
             ..VmConfig::default()
         };
         let mut vm = Vm::new(config, &program);
-        let VmExit::Trapped { vaddr, trap: t, state } = vm.run(100_000, &mut NullSink) else {
+        let VmExit::Trapped {
+            vaddr,
+            trap: t,
+            state,
+        } = vm.run(100_000, &mut NullSink)
+        else {
             panic!("{form:?}: expected trap")
         };
         assert_eq!((vaddr, t), (pc, trap), "{form:?}");
         assert_eq!(state.as_ref(), &rcpu.registers(), "{form:?}");
-        assert!(vm.stats().engine.v_insts > 100, "{form:?}: trap ran translated");
+        assert!(
+            vm.stats().engine.v_insts > 100,
+            "{form:?}: trap ran translated"
+        );
     }
+}
+
+#[test]
+fn unimplemented_fp_word_traps_precisely() {
+    // A floating-point word decodes to `Inst::Unimplemented` (rather than
+    // failing to decode) and raises a precise illegal-instruction trap:
+    // faulting V-PC named, all prior architected state intact.
+    use alpha_isa::{encode, Inst, Operand, OperateOp, Trap};
+    let base = 0x1_0000u64;
+    let addq = |ra: Reg, lit: u8, rc: Reg| {
+        encode(Inst::Operate {
+            op: OperateOp::Addq,
+            ra,
+            rb: Operand::Lit(lit),
+            rc,
+        })
+        .unwrap()
+    };
+    let fp_word = (0x16u32 << 26) | 0x0842; // an ADDT-family (FLTI) encoding
+    let program = Program::new(
+        base,
+        vec![
+            addq(Reg::ZERO, 5, Reg::V0),
+            addq(Reg::V0, 2, Reg::A1),
+            fp_word,
+        ],
+    );
+    let mut vm = Vm::new(VmConfig::default(), &program);
+    let VmExit::Trapped { vaddr, trap, state } = vm.run(1_000, &mut NullSink) else {
+        panic!("expected an illegal-instruction trap")
+    };
+    assert_eq!(vaddr, base + 8, "faulting V-PC");
+    assert_eq!(trap, Trap::IllegalInstruction { word: fp_word });
+    assert_eq!(state[Reg::V0.number() as usize], 5);
+    assert_eq!(state[Reg::A1.number() as usize], 7);
 }

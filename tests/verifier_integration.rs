@@ -1,0 +1,120 @@
+//! The translation validator wired into the VM: every fragment installed
+//! while running the full workload suite — under every ISA form and
+//! chaining policy — passes all four static passes, the installed
+//! (patched, linked) fragments audit clean against the cache, and the
+//! engine's reject-on-violation mode degrades to interpretation instead
+//! of installing a flagged translation.
+
+use ildp_core::{
+    ChainPolicy, InstallReview, NullSink, OnViolation, ProfileConfig, Translator, Vm, VmConfig,
+    VmExit,
+};
+use ildp_isa::IsaForm;
+use ildp_verifier::{collecting_validator, install_validator, take_report, verify_installed};
+use spec_workloads::suite;
+
+fn vm_config(form: IsaForm, chain: ChainPolicy) -> VmConfig {
+    VmConfig {
+        translator: Translator {
+            form,
+            chain,
+            acc_count: 4,
+            fuse_memory: false,
+        },
+        profile: ProfileConfig {
+            threshold: 10,
+            ..ProfileConfig::default()
+        },
+        validator: Some(install_validator),
+        ..VmConfig::default()
+    }
+}
+
+#[test]
+fn every_installed_fragment_verifies_clean_across_the_suite() {
+    for form in [IsaForm::Basic, IsaForm::Modified] {
+        for chain in [
+            ChainPolicy::NoPred,
+            ChainPolicy::SwPred,
+            ChainPolicy::SwPredDualRas,
+        ] {
+            for w in suite(1) {
+                // `install_validator` panics (default OnViolation) on any
+                // violation, so a completed run is itself the assertion.
+                let mut vm = Vm::new(vm_config(form, chain), &w.program);
+                let exit = vm.run(w.budget * 2, &mut NullSink);
+                assert_eq!(exit, VmExit::Halted, "{} ({form:?}, {chain:?})", w.name);
+                assert!(
+                    vm.stats().fragments_verified > 0,
+                    "{}: no fragments were verified",
+                    w.name
+                );
+                assert_eq!(vm.stats().verify_rejected, 0);
+                // The patched, chained form audits clean too.
+                let cache = vm.cache();
+                for frag in cache.fragments() {
+                    let vs = verify_installed(cache, frag);
+                    assert!(
+                        vs.is_empty(),
+                        "{}: installed fragment {:#x} fails audit:\n{}",
+                        w.name,
+                        frag.vstart,
+                        vs.iter().map(|v| format!("  {v}\n")).collect::<String>()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn collecting_validator_reports_without_rejecting() {
+    let w = &suite(1)[0];
+    let mut config = vm_config(IsaForm::Basic, ChainPolicy::SwPredDualRas);
+    config.validator = Some(collecting_validator);
+    let mut vm = Vm::new(config, &w.program);
+    let exit = vm.run(w.budget * 2, &mut NullSink);
+    assert_eq!(exit, VmExit::Halted);
+    assert!(
+        take_report().is_empty(),
+        "clean translations must not report"
+    );
+}
+
+/// A validator that rejects everything: with `OnViolation::Reject` the VM
+/// must fall back to interpretation rather than panic or install.
+fn reject_all(_review: &InstallReview<'_>) -> Result<(), String> {
+    Err("rejected by test".to_string())
+}
+
+#[test]
+fn reject_mode_falls_back_to_interpretation() {
+    let w = &suite(1)[0];
+    let mut config = vm_config(IsaForm::Modified, ChainPolicy::SwPredDualRas);
+    config.validator = Some(reject_all);
+    config.on_violation = OnViolation::Reject;
+    let mut vm = Vm::new(config, &w.program);
+    let exit = vm.run(w.budget * 2, &mut NullSink);
+    assert_eq!(exit, VmExit::Halted, "{} must still complete", w.name);
+    let s = vm.stats();
+    assert_eq!(s.fragments, 0, "nothing may be installed");
+    assert!(s.verify_rejected > 0, "rejections must be counted");
+    assert_eq!(s.verify_rejected, s.fragments_verified);
+    assert!(
+        s.interpreted > 0,
+        "execution must fall back to interpretation"
+    );
+}
+
+#[test]
+fn verifier_time_is_accounted_separately() {
+    let w = &suite(1)[0];
+    let mut vm = Vm::new(
+        vm_config(IsaForm::Basic, ChainPolicy::SwPredDualRas),
+        &w.program,
+    );
+    vm.run(w.budget * 2, &mut NullSink);
+    let s = vm.stats();
+    assert!(s.verify_nanos > 0, "verification time must be recorded");
+    assert!(s.fragments_verified >= s.fragments);
+}

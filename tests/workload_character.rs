@@ -9,8 +9,14 @@ use spec_workloads::by_name;
 fn stats(name: &str) -> RunStats {
     let w = by_name(name, 1).unwrap();
     let (mut cpu, mut mem) = w.program.load();
-    run_to_halt(&mut cpu, &mut mem, &w.program, AlignPolicy::Enforce, w.budget)
-        .unwrap_or_else(|e| panic!("{name}: {e}"))
+    run_to_halt(
+        &mut cpu,
+        &mut mem,
+        &w.program,
+        AlignPolicy::Enforce,
+        w.budget,
+    )
+    .unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
 fn rate(n: u64, d: u64) -> f64 {

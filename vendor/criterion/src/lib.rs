@@ -56,8 +56,7 @@ impl Bencher {
                 self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
                 return;
             }
-            let factor = (self.target_time.as_nanos() as f64
-                / elapsed.as_nanos().max(1) as f64)
+            let factor = (self.target_time.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64)
                 .clamp(2.0, 100.0);
             n = ((n as f64) * factor).ceil() as u64;
         }
@@ -84,8 +83,7 @@ impl Bencher {
                 self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
                 return;
             }
-            let factor = (self.target_time.as_nanos() as f64
-                / elapsed.as_nanos().max(1) as f64)
+            let factor = (self.target_time.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64)
                 .clamp(2.0, 100.0);
             n = ((n as f64) * factor).ceil() as u64;
         }
@@ -184,7 +182,11 @@ impl BenchmarkGroup<'_> {
             ns_per_iter: f64::NAN,
         };
         f(&mut b);
-        report(&format!("{}/{id}", self.name), b.ns_per_iter, self.throughput);
+        report(
+            &format!("{}/{id}", self.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
         self
     }
 

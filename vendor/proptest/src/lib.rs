@@ -323,7 +323,8 @@ macro_rules! prop_assert_eq {
         let (a, b) = (&$a, &$b);
         if !(a == b) {
             return Err($crate::TestCaseError::fail(format!(
-                "assertion failed: {:?} != {:?}", a, b
+                "assertion failed: {:?} != {:?}",
+                a, b
             )));
         }
     }};
