@@ -63,6 +63,28 @@ impl Memory {
         self.pages.len()
     }
 
+    /// Order-independent digest of memory contents for differential
+    /// comparison. All-zero pages contribute nothing, so a memory that was
+    /// merely *touched* differently (pages faulted in but never written a
+    /// non-zero byte) digests identically.
+    pub fn content_digest(&self) -> u64 {
+        let mut digest = 0u64;
+        for (&page_no, page) in &self.pages {
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            // FNV-1a over the page bytes, folded with the page number;
+            // XOR-combined across pages for order independence.
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ page_no.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for &b in page.iter() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            digest ^= h;
+        }
+        digest
+    }
+
     #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
         self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)

@@ -56,6 +56,13 @@ impl CpuState {
         out[31] = 0;
         out
     }
+
+    /// Restores all 32 register values from a snapshot (the `R31` slot is
+    /// forced to zero). Used to reinstate recovered precise state.
+    pub fn set_registers(&mut self, regs: &[u64; 32]) {
+        self.regs = *regs;
+        self.regs[31] = 0;
+    }
 }
 
 impl fmt::Debug for CpuState {

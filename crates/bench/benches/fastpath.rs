@@ -48,12 +48,8 @@ fn bench_transfer_resolution(c: &mut Criterion) {
     let mut vm = Vm::new(vm_config(), &w.program);
     vm.run(w.budget * 2, &mut NullSink);
     let cache = vm.cache();
-    let frags: Vec<(u64, ildp_core::FragmentId)> = cache
-        .fragments()
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (f.istart, ildp_core::FragmentId(i as u32)))
-        .collect();
+    let frags: Vec<(u64, ildp_core::FragmentId)> =
+        cache.fragments().map(|f| (f.istart, f.id)).collect();
     assert!(frags.len() > 4, "workload must translate several fragments");
 
     let mut group = c.benchmark_group("transfer");

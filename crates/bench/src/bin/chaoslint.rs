@@ -1,0 +1,93 @@
+//! `chaoslint` — fault-injection sweep over the full workload suite.
+//!
+//! Runs every workload under every (chain policy × ISA form)
+//! configuration with a capacity-bounded, fuel-limited VM while the
+//! [`ildp_bench::chaos`] harness deterministically corrupts the
+//! translation cache at chunk boundaries: severed and misdirected direct
+//! links, poisoned branch targets, corrupted entry shapes, cache-epoch
+//! flips, and external stores into translated source pages. Every
+//! structural corruption must be flagged by the C01–C07 installed-fragment
+//! audit and healed by precise invalidation, and every run must halt with
+//! the architected state of a pure interpreter.
+//!
+//! Usage: `cargo run --release -p ildp-bench --bin chaoslint`
+//! (`ILDP_SCALE` scales the workloads, default 10; `ILDP_CHAOS_SEEDS`
+//! seeds per cell, default 1.)
+
+use ildp_bench::chaos::{chaos_cell, ChaosReport};
+use ildp_bench::harness_scale;
+use ildp_core::ChainPolicy;
+use ildp_isa::IsaForm;
+use spec_workloads::suite;
+
+fn main() {
+    let scale = harness_scale();
+    let seeds: u64 = std::env::var("ILDP_CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let suite = suite(scale);
+    let chains = [
+        ChainPolicy::NoPred,
+        ChainPolicy::SwPred,
+        ChainPolicy::SwPredDualRas,
+    ];
+    let forms = [IsaForm::Basic, IsaForm::Modified];
+
+    let mut total = ChaosReport::default();
+    let mut divergences = Vec::new();
+    let mut cell_index = 0u64;
+    for w in &suite {
+        for &form in &forms {
+            for &chain in &chains {
+                let mut cell_total = ChaosReport::default();
+                for s in 0..seeds {
+                    cell_index += 1;
+                    match chaos_cell(w, form, chain, cell_index * 1000 + s) {
+                        Ok(report) => cell_total.merge(&report),
+                        Err(msg) => divergences.push(msg),
+                    }
+                }
+                total.merge(&cell_total);
+                println!(
+                    "{:<10} {:>8} {:<14} {:>4} injected  {:>3} healed  {:>2} undetected",
+                    w.name,
+                    format!("{form:?}").to_lowercase(),
+                    chain.label(),
+                    cell_total.injections,
+                    cell_total.healed,
+                    cell_total.undetected,
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nchaoslint: {} injections ({} link-clear, {} link-poison, \
+         {} target-poison, {} vpc, {} epoch-flip, {} code-write), \
+         {} fragments healed, {} undetected, {} divergences",
+        total.injections,
+        total.link_clears,
+        total.link_poisons,
+        total.target_poisons,
+        total.vpc_corruptions,
+        total.epoch_flips,
+        total.code_writes,
+        total.healed,
+        total.undetected,
+        divergences.len(),
+    );
+    for msg in &divergences {
+        println!("    {msg}");
+    }
+    if !divergences.is_empty() || total.undetected > 0 {
+        std::process::exit(1);
+    }
+    if total.injections < 500 {
+        println!(
+            "chaoslint: only {} injections (< 500); raise ILDP_CHAOS_SEEDS",
+            total.injections
+        );
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,9 @@ struct Row {
     fragments: u64,
     fragments_verified: u64,
     verify_nanos: u64,
+    evictions: u64,
+    smc_invalidations: u64,
+    demotions: u64,
 }
 
 fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
@@ -54,6 +57,9 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
         fragments: 0,
         fragments_verified: 0,
         verify_nanos: 0,
+        evictions: 0,
+        smc_invalidations: 0,
+        demotions: 0,
     };
     for _ in 0..reps {
         let mut vm = Vm::new(config, &w.program);
@@ -64,6 +70,9 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
             VmExit::Halted | VmExit::Budget => {}
             VmExit::Trapped { vaddr, trap, .. } => {
                 panic!("{}: unexpected trap at {vaddr:#x}: {trap}", w.name)
+            }
+            VmExit::Fault { error } => {
+                panic!("{}: runtime fault: {error}", w.name)
             }
         }
         let s = vm.stats();
@@ -77,6 +86,9 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
         row.fragments += s.fragments;
         row.fragments_verified += s.fragments_verified;
         row.verify_nanos += s.verify_nanos;
+        row.evictions += s.evictions;
+        row.smc_invalidations += s.smc_invalidations;
+        row.demotions += s.demotions;
         let violations = take_report();
         assert!(
             violations.is_empty(),
@@ -112,6 +124,11 @@ fn main() {
     let total_verified: u64 = rows.iter().map(|r| r.fragments_verified).sum();
     let verify_wall: f64 = rows.iter().map(|r| r.verify_nanos).sum::<u64>() as f64 * 1e-9;
     let verified_per_s = total_verified as f64 / verify_wall.max(1e-9);
+    let total_interp: u64 = rows.iter().map(|r| r.interpreted).sum();
+    let total_evictions: u64 = rows.iter().map(|r| r.evictions).sum();
+    let total_smc: u64 = rows.iter().map(|r| r.smc_invalidations).sum();
+    let total_demotions: u64 = rows.iter().map(|r| r.demotions).sum();
+    let interp_fallback = total_interp as f64 / (total_interp + total_v).max(1) as f64;
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -126,6 +143,10 @@ fn main() {
     let _ = writeln!(json, "  \"fragments_verified\": {total_verified},");
     let _ = writeln!(json, "  \"verify_wall_seconds\": {verify_wall:.6},");
     let _ = writeln!(json, "  \"fragments_verified_per_s\": {verified_per_s:.0},");
+    let _ = writeln!(json, "  \"evictions\": {total_evictions},");
+    let _ = writeln!(json, "  \"smc_invalidations\": {total_smc},");
+    let _ = writeln!(json, "  \"demotions\": {total_demotions},");
+    let _ = writeln!(json, "  \"interp_fallback_ratio\": {interp_fallback:.6},");
     let _ = writeln!(json, "  \"workloads\": [");
     for (k, r) in rows.iter().enumerate() {
         let ips = r.v_insts as f64 / r.wall_s.max(1e-9);
@@ -137,6 +158,8 @@ fn main() {
              \"dispatches\": {}, \"ras_hits\": {}, \"ras_misses\": {}, \
              \"fragment_entries\": {}, \"fragments\": {}, \
              \"fragments_verified\": {}, \"verify_wall_seconds\": {:.6}, \
+             \"evictions\": {}, \"smc_invalidations\": {}, \
+             \"demotions\": {}, \"interp_fallback_ratio\": {:.6}, \
              \"wall_seconds\": {:.4}}}{comma}",
             r.name,
             r.v_insts,
@@ -149,6 +172,10 @@ fn main() {
             r.fragments,
             r.fragments_verified,
             r.verify_nanos as f64 * 1e-9,
+            r.evictions,
+            r.smc_invalidations,
+            r.demotions,
+            r.interpreted as f64 / (r.interpreted + r.v_insts).max(1) as f64,
             r.wall_s,
         );
     }

@@ -1,0 +1,324 @@
+//! Deterministic fault injection against the resilient-cache machinery.
+//!
+//! The harness corrupts an actively-running VM's translation cache in the
+//! ways a hostile environment could — severed and misdirected direct
+//! links, poisoned branch targets, corrupted entry shapes, cache-epoch
+//! flips, and stores into translated source pages — then requires the VM
+//! to *contain* every fault: the C01–C07 installed-fragment audit must
+//! flag each structural corruption so it can be healed by precise
+//! invalidation, and the run must still retire to the architecturally
+//! identical final state a pure interpreter computes.
+//!
+//! Everything is seeded ([`XorShift`]) and wall-clock free, so a failing
+//! seed replays exactly.
+
+use alpha_isa::{step, AlignPolicy, Control, DecodeCache, Program};
+use ildp_core::{
+    ChainPolicy, FragmentId, NullSink, OnViolation, ProfileConfig, Translator, Vm, VmConfig, VmExit,
+};
+use ildp_isa::{IInst, ITarget, IsaForm};
+use ildp_verifier::verify_installed;
+use spec_workloads::{Workload, XorShift};
+use std::collections::BTreeSet;
+
+/// Architected end state of a pure-interpreter reference run.
+pub struct Reference {
+    /// Final GPR file.
+    pub regs: [u64; 32],
+    /// Order-independent digest of final memory contents.
+    pub mem_digest: u64,
+    /// Console output, in emission order.
+    pub output: Vec<u8>,
+    /// Instructions retired to the halt.
+    pub insts: u64,
+}
+
+/// Interprets `program` to a clean halt (within `budget` instructions),
+/// capturing the architected end state the VM under fault injection must
+/// reproduce.
+pub fn interp_reference(program: &Program, budget: u64) -> Result<Reference, String> {
+    let decoded = DecodeCache::new(program);
+    let (mut cpu, mut mem) = program.load();
+    let mut output = Vec::new();
+    let mut insts = 0u64;
+    loop {
+        if insts >= budget {
+            return Err(format!("reference exhausted {budget} instructions"));
+        }
+        let pc = cpu.pc;
+        let inst = decoded
+            .fetch(pc)
+            .map_err(|t| format!("reference fetch trap at {pc:#x}: {t}"))?;
+        let outcome = step(&mut cpu, &mut mem, inst, AlignPolicy::Enforce)
+            .map_err(|t| format!("reference trap at {pc:#x}: {t}"))?;
+        insts += 1;
+        if let Some(b) = outcome.output {
+            output.push(b);
+        }
+        if outcome.control == Control::Halt {
+            return Ok(Reference {
+                regs: cpu.registers(),
+                mem_digest: mem.content_digest(),
+                output,
+                insts,
+            });
+        }
+    }
+}
+
+/// Tally of one chaos cell (workload × form × chain × seed).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ChaosReport {
+    /// Total faults injected.
+    pub injections: u64,
+    /// Direct links severed (must surface as C07).
+    pub link_clears: u64,
+    /// Direct links misdirected to a bogus fragment id (C07).
+    pub link_poisons: u64,
+    /// Branch/push targets retargeted off any fragment entry (C06).
+    pub target_poisons: u64,
+    /// Entry `SetVpcBase` corruptions (C01).
+    pub vpc_corruptions: u64,
+    /// Cache-epoch flips (benign: stale dual-RAS links fall back to
+    /// dispatch).
+    pub epoch_flips: u64,
+    /// External writes into translated source pages (SMC response).
+    pub code_writes: u64,
+    /// Fragments invalidated by the audit-and-heal pass.
+    pub healed: u64,
+    /// Structurally corrupted fragments the audit FAILED to flag. Any
+    /// non-zero value is a detector gap.
+    pub undetected: u64,
+}
+
+impl ChaosReport {
+    /// Folds another cell's tally into this one.
+    pub fn merge(&mut self, other: &ChaosReport) {
+        self.injections += other.injections;
+        self.link_clears += other.link_clears;
+        self.link_poisons += other.link_poisons;
+        self.target_poisons += other.target_poisons;
+        self.vpc_corruptions += other.vpc_corruptions;
+        self.epoch_flips += other.epoch_flips;
+        self.code_writes += other.code_writes;
+        self.healed += other.healed;
+        self.undetected += other.undetected;
+    }
+}
+
+/// A fragment slot carrying a live direct link, as an injection victim.
+fn pick_linked_site(vm: &Vm, rng: &mut XorShift) -> Option<(FragmentId, usize)> {
+    let sites: Vec<(FragmentId, usize)> = vm
+        .cache()
+        .fragments()
+        .flat_map(|f| {
+            f.links
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.is_some())
+                .map(|(k, _)| (f.id, k))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if sites.is_empty() {
+        return None;
+    }
+    Some(sites[(rng.next_u64() as usize) % sites.len()])
+}
+
+/// Any live fragment, as an injection victim.
+fn pick_fragment(vm: &Vm, rng: &mut XorShift) -> Option<FragmentId> {
+    let ids: Vec<FragmentId> = vm.cache().fragments().map(|f| f.id).collect();
+    if ids.is_empty() {
+        return None;
+    }
+    Some(ids[(rng.next_u64() as usize) % ids.len()])
+}
+
+/// Audits every live fragment with the verifier's C01–C07 installed
+/// checks and heals flagged ones by precise invalidation. Returns the
+/// flagged ids.
+fn audit_and_heal(vm: &mut Vm, report: &mut ChaosReport) -> BTreeSet<u32> {
+    let flagged: Vec<FragmentId> = {
+        let cache = vm.cache();
+        cache
+            .fragments()
+            .filter(|f| !verify_installed(cache, f).is_empty())
+            .map(|f| f.id)
+            .collect()
+    };
+    for &id in &flagged {
+        if vm.invalidate_fragment(id).is_some() {
+            report.healed += 1;
+        }
+    }
+    flagged.iter().map(|id| id.0).collect()
+}
+
+/// Injects one round of faults (one to three). Each structural fault is
+/// audited and healed immediately — injections must not interfere with
+/// each other's detectability — and a structural victim the audit missed
+/// is counted as `undetected`.
+fn inject_round(vm: &mut Vm, rng: &mut XorShift, report: &mut ChaosReport) {
+    let rounds = 1 + rng.next_u64() % 3;
+    for _ in 0..rounds {
+        // The structurally corrupted fragment, which the audit below must
+        // flag.
+        let mut victim: Option<FragmentId> = None;
+        match rng.next_u64() % 6 {
+            0 => {
+                // Sever a direct link out from under its patched branch.
+                if let Some((id, k)) = pick_linked_site(vm, rng) {
+                    vm.cache_mut().fragment_mut(id).links[k] = None;
+                    report.link_clears += 1;
+                    report.injections += 1;
+                    victim = Some(id);
+                }
+            }
+            1 => {
+                // Misdirect a link to a fragment id that never existed.
+                if let Some((id, k)) = pick_linked_site(vm, rng) {
+                    vm.cache_mut().fragment_mut(id).links[k] = Some(FragmentId(u32::MAX - 1));
+                    report.link_poisons += 1;
+                    report.injections += 1;
+                    victim = Some(id);
+                }
+            }
+            2 => {
+                // Retarget a resolved transfer off any fragment entry.
+                // Entries are 8-aligned, so entry+2 can never be one.
+                if let Some((id, k)) = pick_linked_site(vm, rng) {
+                    let f = vm.cache_mut().fragment_mut(id);
+                    match &mut f.insts[k] {
+                        IInst::Branch { target } | IInst::CondBranch { target, .. } => {
+                            if let ITarget::Addr(a) = target {
+                                *target = ITarget::Addr(*a + 2);
+                            }
+                        }
+                        IInst::PushDualRas { iret, .. } => {
+                            if let ITarget::Addr(a) = iret {
+                                *iret = ITarget::Addr(*a + 2);
+                            }
+                        }
+                        _ => continue,
+                    }
+                    report.target_poisons += 1;
+                    report.injections += 1;
+                    victim = Some(id);
+                }
+            }
+            3 => {
+                // Corrupt the entry shape: SetVpcBase names the wrong
+                // V-address.
+                if let Some(id) = pick_fragment(vm, rng) {
+                    let f = vm.cache_mut().fragment_mut(id);
+                    let vstart = f.vstart;
+                    if let Some(IInst::SetVpcBase { vaddr }) = f.insts.first_mut() {
+                        *vaddr = vstart ^ 0x40;
+                        report.vpc_corruptions += 1;
+                        report.injections += 1;
+                        victim = Some(id);
+                    }
+                }
+            }
+            4 => {
+                // Flip the cache epoch: every engine dual-RAS direct link
+                // turns stale and must fall back to dispatch.
+                vm.cache_mut().force_epoch_bump();
+                report.epoch_flips += 1;
+                report.injections += 1;
+            }
+            _ => {
+                // External store into a translated source page: the SMC
+                // response must invalidate precisely and keep running.
+                if let Some(id) = pick_fragment(vm, rng) {
+                    let f = vm.cache().fragment(id);
+                    let page = f.src_pages[(rng.next_u64() as usize) % f.src_pages.len()];
+                    let addr = (page << ildp_core::SMC_PAGE_SHIFT) + (rng.next_u64() & 0xff8);
+                    vm.notify_code_write(addr, 8);
+                    report.code_writes += 1;
+                    report.injections += 1;
+                }
+            }
+        }
+        let flagged = audit_and_heal(vm, report);
+        if let Some(v) = victim {
+            if !flagged.contains(&v.0) && vm.cache().try_fragment(v).is_some() {
+                report.undetected += 1;
+            }
+        }
+    }
+}
+
+/// Runs one chaos cell: a capacity-bounded, fuel-limited VM over the
+/// workload with faults injected at every chunk boundary, compared against
+/// the pure-interpreter reference. Returns the tally, or a description of
+/// the divergence.
+pub fn chaos_cell(
+    w: &Workload,
+    form: IsaForm,
+    chain: ChainPolicy,
+    seed: u64,
+) -> Result<ChaosReport, String> {
+    let budget = w.budget * 2;
+    let reference = interp_reference(&w.program, budget).map_err(|e| format!("{}: {e}", w.name))?;
+    let config = VmConfig {
+        translator: Translator {
+            form,
+            chain,
+            acc_count: 4,
+            fuse_memory: false,
+        },
+        profile: ProfileConfig {
+            threshold: 10,
+            ..ProfileConfig::default()
+        },
+        validator: Some(ildp_verifier::install_validator),
+        on_violation: OnViolation::Reject,
+        // Tight enough that both the clock hand and the fuel watchdog
+        // actually bind at harness scales (fragments encode to ~50–100
+        // bytes), so eviction and preemption run under fault injection.
+        cache_budget: Some(256),
+        fuel: Some(2_000),
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::new(config, &w.program);
+    let mut rng = XorShift::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let mut report = ChaosReport::default();
+    // Pace the injection boundaries off the reference run's retire count
+    // so every round lands while the workload is still executing.
+    let chunks = 12u64;
+    let mut exit = VmExit::Budget;
+    for c in 1..=chunks {
+        let target = (reference.insts * c / (chunks + 1)).max(1);
+        exit = vm.run(target, &mut NullSink);
+        match exit {
+            VmExit::Budget => inject_round(&mut vm, &mut rng, &mut report),
+            _ => break,
+        }
+    }
+    if exit == VmExit::Budget {
+        exit = vm.run(budget, &mut NullSink);
+    }
+    let cell = format!("{} {form:?} {} seed {seed}", w.name, chain.label());
+    match exit {
+        VmExit::Halted => {}
+        other => return Err(format!("{cell}: expected clean halt, got {other:?}")),
+    }
+    if vm.cpu().registers() != reference.regs {
+        return Err(format!("{cell}: final GPR file diverged"));
+    }
+    if vm.output() != reference.output.as_slice() {
+        return Err(format!("{cell}: console output diverged"));
+    }
+    if vm.memory().content_digest() != reference.mem_digest {
+        return Err(format!("{cell}: final memory diverged"));
+    }
+    if report.undetected > 0 {
+        return Err(format!(
+            "{cell}: {} structural corruption(s) escaped the C01–C07 audit",
+            report.undetected
+        ));
+    }
+    Ok(report)
+}

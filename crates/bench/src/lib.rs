@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod report;
 pub mod runners;
 

@@ -28,6 +28,9 @@ fn expect_clean(name: &str, exit: &VmExit) {
         VmExit::Trapped { vaddr, trap, .. } => {
             panic!("{name}: unexpected trap at {vaddr:#x}: {trap}")
         }
+        VmExit::Fault { error } => {
+            panic!("{name}: runtime fault: {error}")
+        }
     }
 }
 

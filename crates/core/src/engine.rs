@@ -11,6 +11,7 @@
 //! recovery tables (paper §2.2).
 
 use crate::classify::{CategoryCounts, UsageCat};
+use crate::error::VmError;
 use crate::fragment::{FragmentId, TranslationCache, DISPATCH_COST_INSTS, DISPATCH_IADDR};
 use alpha_isa::{AlignPolicy, CpuState, JumpKind, Memory, Reg, Trap};
 use ildp_isa::{ASrc, Acc, IInst, ITarget, MemWidth};
@@ -72,6 +73,36 @@ pub enum FragExit {
         /// Recovered architected registers (r0..r31).
         state: Box<[u64; 32]>,
     },
+    /// A guest store was about to write a page holding translated source
+    /// code (self-modifying code). The store has **not** executed; the VM
+    /// invalidates the affected fragments and re-runs the store
+    /// interpretively from `vaddr` with the recovered precise state —
+    /// exactly the precise-trap discipline, reused for invalidation.
+    SmcStore {
+        /// Guest address the store targets.
+        addr: u64,
+        /// Width of the store in bytes.
+        len: u64,
+        /// V-address of the store instruction (the resume point).
+        vaddr: u64,
+        /// Recovered architected registers (r0..r31) before the store.
+        state: Box<[u64; 32]>,
+    },
+    /// The per-dispatch fuel budget ([`EngineConfig::fuel`]) ran out. The
+    /// engine preempts only at fragment boundaries, where the GPR file is
+    /// architecturally complete, so the VM resumes interpretively at
+    /// `vtarget` with no recovery merge.
+    Preempted {
+        /// Entry V-address of the fragment that was about to run.
+        vtarget: u64,
+    },
+    /// A structural invariant failed at runtime — a corrupted or stale
+    /// fragment reached execution. The VM surfaces this as
+    /// [`VmExit::Fault`](crate::VmExit::Fault).
+    Fault {
+        /// What failed.
+        error: VmError,
+    },
 }
 
 /// Execution statistics accumulated by the engine (the dynamic side of
@@ -120,6 +151,10 @@ pub struct EngineConfig {
     pub ras_depth: usize,
     /// Alignment policy for translated memory accesses.
     pub align: AlignPolicy,
+    /// Watchdog fuel: the maximum V-ISA instructions one [`Engine::run`]
+    /// dispatch may retire before being preempted at the next fragment
+    /// boundary ([`FragExit::Preempted`]). `None` disables the watchdog.
+    pub fuel: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +163,7 @@ impl Default for EngineConfig {
             dispatch_cost: DISPATCH_COST_INSTS,
             ras_depth: 8,
             align: AlignPolicy::Enforce,
+            fuel: None,
         }
     }
 }
@@ -289,6 +325,9 @@ impl Engine {
         sink: &mut S,
     ) -> FragExit {
         let mut fid = entry;
+        // Watchdog: preempt at the next fragment boundary once this many
+        // V-instructions have retired in this dispatch.
+        let fuel_limit = self.config.fuel.map(|f| self.stats.v_insts + f.max(1));
         // Every transfer of control between fragments converges on the top
         // of this loop: it is the single site that books fragment entries,
         // and it re-borrows the new fragment's instruction / metadata /
@@ -296,7 +335,37 @@ impl Engine {
         // indexes flat slices instead of re-resolving the fragment through
         // the cache on every iteration.
         'fragment: loop {
-            cache.fragment_mut(fid).entries += 1;
+            // A stale direct path into an invalidated slot is a contained
+            // fault, not a panic: the unlink paths should make this
+            // unreachable, but a resilient engine verifies.
+            let vstart = match cache.try_fragment_mut(fid) {
+                None => {
+                    return FragExit::Fault {
+                        error: VmError::DeadFragment { fragment: fid.0 },
+                    }
+                }
+                Some(f) => f.vstart,
+            };
+            // Budget and fuel are checked only at fragment boundaries,
+            // where the GPR file is architecturally complete and the
+            // V-PC is the fragment entry — both exits leave the VM
+            // resumable. Every inter-fragment transfer converges on this
+            // loop top and `idx` below only moves forward, so the
+            // overshoot is bounded by one fragment.
+            if self.stats.v_insts >= budget_v {
+                cpu.pc = vstart;
+                return FragExit::Budget;
+            }
+            if let Some(limit) = fuel_limit {
+                if self.stats.v_insts >= limit {
+                    return FragExit::Preempted { vtarget: vstart };
+                }
+            }
+            {
+                let f = cache.fragment_mut(fid);
+                f.entries += 1;
+                f.referenced = true;
+            }
             self.stats.fragment_entries += 1;
             let frag = cache.fragment(fid);
             let insts = frag.insts.as_slice();
@@ -305,11 +374,13 @@ impl Engine {
             let templates = frag.templates.as_slice();
             let mut idx: usize = 0;
             loop {
-                if self.stats.v_insts >= budget_v {
-                    return FragExit::Budget;
-                }
-                debug_assert!(idx < insts.len(), "fragment fell off its end");
-                let inst = insts[idx];
+                let Some(&inst) = insts.get(idx) else {
+                    // Ran off the fragment's end without a block terminal —
+                    // only reachable through corruption.
+                    return FragExit::Fault {
+                        error: VmError::FragmentOverrun { fragment: fid.0 },
+                    };
+                };
                 let meta = metas[idx];
                 let link = links[idx];
 
@@ -439,6 +510,23 @@ impl Engine {
                                 });
                             }
                             Ok(()) => {
+                                let len = width.bytes() as u64;
+                                if cache.smc_hit(a, len) {
+                                    // Self-modifying code: surface the store
+                                    // *before* it executes, with precise state
+                                    // (the store's recovery table), and roll
+                                    // back its retirement accounting — the VM
+                                    // re-runs it interpretively after
+                                    // invalidating the affected fragments.
+                                    self.stats.executed -= 1;
+                                    self.stats.v_insts -= meta.vcount as u64;
+                                    return FragExit::SmcStore {
+                                        addr: a,
+                                        len,
+                                        vaddr: meta.vaddr,
+                                        state: self.recover_state(cache, fid, idx as u32, cpu),
+                                    };
+                                }
                                 if S::TRACING {
                                     d.mem_addr = Some(a);
                                 }
@@ -468,20 +556,45 @@ impl Engine {
                     } => {
                         let taken = cond.eval(self.val(src, acc, cpu));
                         if taken {
-                            if S::TRACING {
-                                d.taken = true;
-                                let ITarget::Addr(a) = target else {
-                                    panic!("unresolved local branch target")
-                                };
-                                d.next_pc = a;
+                            // Every resolved branch keeps its direct link in
+                            // lockstep with the instruction word; a missing
+                            // link means the target fragment vanished without
+                            // this site being un-patched.
+                            match link {
+                                Some(t) => {
+                                    if S::TRACING {
+                                        d.taken = true;
+                                        if let ITarget::Addr(a) = target {
+                                            d.next_pc = a;
+                                        }
+                                    }
+                                    goto = Some(t);
+                                }
+                                None => {
+                                    exit = Some(FragExit::Fault {
+                                        error: VmError::UnlinkedTransfer {
+                                            fragment: fid.0,
+                                            index: idx as u32,
+                                        },
+                                    });
+                                }
                             }
-                            goto = Some(resolve_link(link, target));
                         }
                     }
-                    IInst::Branch { target } => {
+                    IInst::Branch { .. } => {
                         // class, taken and next_pc are static — already in the
                         // template.
-                        goto = Some(resolve_link(link, target));
+                        match link {
+                            Some(t) => goto = Some(t),
+                            None => {
+                                exit = Some(FragExit::Fault {
+                                    error: VmError::UnlinkedTransfer {
+                                        fragment: fid.0,
+                                        index: idx as u32,
+                                    },
+                                });
+                            }
+                        }
                     }
                     IInst::IndirectJump { acc, kind, addr } => {
                         debug_assert_eq!(kind, JumpKind::Ret, "only returns reach the engine");
@@ -541,15 +654,22 @@ impl Engine {
                     }
                     IInst::PushDualRas { vret, iret } => {
                         // class and ras_pair are static — in the template.
-                        let ITarget::Addr(i) = iret else {
-                            panic!("unresolved dual-RAS push")
-                        };
-                        self.ras_push(RasEntry {
-                            v: vret,
-                            i,
-                            link,
-                            epoch: cache.epoch(),
-                        });
+                        match iret {
+                            ITarget::Addr(i) => self.ras_push(RasEntry {
+                                v: vret,
+                                i,
+                                link,
+                                epoch: cache.epoch(),
+                            }),
+                            ITarget::Local(_) => {
+                                exit = Some(FragExit::Fault {
+                                    error: VmError::UnresolvedDualRas {
+                                        fragment: fid.0,
+                                        index: idx as u32,
+                                    },
+                                });
+                            }
+                        }
                     }
                     IInst::CallTranslatorIfCond {
                         acc,
@@ -623,15 +743,18 @@ impl Engine {
             }
         }
     }
-}
 
-/// Unwraps an install-time direct link; every resolved branch target is a
-/// fragment entry point, so a missing link means the target I-address is
-/// unmapped.
-fn resolve_link(link: Option<FragmentId>, target: ITarget) -> FragmentId {
-    match link {
-        Some(t) => t,
-        None => panic!("branch to unmapped I-target {target:?}"),
+    /// Severs every engine-side fast path into an invalidated fragment:
+    /// dual-RAS entries whose direct link names it lose the link and fall
+    /// back to dispatch on a hit. The architected (V, I) pair is kept —
+    /// the stale I-address simply misses the lookup map, exactly as after
+    /// a flush.
+    pub fn unlink_fragment(&mut self, id: FragmentId) {
+        for e in &mut self.ras {
+            if e.link == Some(id) {
+                e.link = None;
+            }
+        }
     }
 }
 

@@ -1,0 +1,72 @@
+//! Structured runtime errors.
+//!
+//! The engine executes fragments whose invariants are normally guaranteed
+//! by the translator and audited by the verifier — but a resilient
+//! runtime must not take those guarantees on faith. Conditions a hostile
+//! guest or a corrupted cache can reach (a severed direct link, an
+//! unresolved dual-RAS push, a dead fragment id, control running off a
+//! fragment's end) surface as a [`VmError`] inside
+//! [`VmExit::Fault`](crate::VmExit::Fault) instead of a panic, so the
+//! embedding process survives and the fault-injection harness can assert
+//! clean containment.
+
+use std::fmt;
+
+/// A structural invariant violated at runtime. Every variant names the
+/// fragment (by raw id) where execution stopped; the architected state at
+/// the fault is the last consistent fragment-boundary state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// A taken control transfer carried a resolved I-address but no live
+    /// direct link — the target fragment vanished without the site being
+    /// un-patched.
+    UnlinkedTransfer {
+        /// Raw id of the fragment containing the transfer.
+        fragment: u32,
+        /// Instruction slot of the transfer.
+        index: u32,
+    },
+    /// A dual-RAS push still carried a local (unresolved) I-side return
+    /// target at execution time.
+    UnresolvedDualRas {
+        /// Raw id of the fragment containing the push.
+        fragment: u32,
+        /// Instruction slot of the push.
+        index: u32,
+    },
+    /// Control transferred into a fragment id whose slot has been
+    /// invalidated.
+    DeadFragment {
+        /// The raw id of the dead fragment.
+        fragment: u32,
+    },
+    /// Execution ran past the last instruction of a fragment without
+    /// reaching a block terminal.
+    FragmentOverrun {
+        /// Raw id of the overrun fragment.
+        fragment: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VmError::UnlinkedTransfer { fragment, index } => write!(
+                f,
+                "taken transfer without a live direct link (fragment {fragment}, slot {index})"
+            ),
+            VmError::UnresolvedDualRas { fragment, index } => write!(
+                f,
+                "unresolved dual-RAS push reached execution (fragment {fragment}, slot {index})"
+            ),
+            VmError::DeadFragment { fragment } => {
+                write!(f, "control transferred into dead fragment {fragment}")
+            }
+            VmError::FragmentOverrun { fragment } => {
+                write!(f, "execution ran off the end of fragment {fragment}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -31,6 +31,7 @@
 mod classify;
 mod cost;
 mod engine;
+mod error;
 mod fragment;
 mod profile;
 mod straighten;
@@ -44,9 +45,10 @@ pub use classify::{
 };
 pub use cost::CostModel;
 pub use engine::{Engine, EngineConfig, EngineStats, FragExit, NullSink, TraceSink};
+pub use error::VmError;
 pub use fragment::{
     Fragment, FragmentId, IMeta, RecoveryEntry, TranslationCache, CODE_CACHE_BASE,
-    DISPATCH_COST_INSTS, DISPATCH_IADDR,
+    DISPATCH_COST_INSTS, DISPATCH_IADDR, SMC_PAGE_SHIFT,
 };
 pub use profile::{
     collect_superblock, collect_superblock_with_output, interp_step, Candidates, InterpEvent,

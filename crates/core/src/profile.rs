@@ -13,6 +13,7 @@
 //! register-indirect jump or trap, a backward taken conditional branch, a
 //! revisited address (cycle), or the maximum size (paper: 200).
 
+use crate::fragment::TranslationCache;
 use crate::superblock::{CollectedFlow, SbEnd, SbInst, Superblock};
 use alpha_isa::{
     step, AlignPolicy, BranchOp, Control, CpuState, DecodeCache, Inst, Memory, Program, Trap,
@@ -67,6 +68,14 @@ impl Candidates {
         self.counters.get(&vaddr).is_some_and(|c| *c >= threshold)
     }
 
+    /// Forgets the counter for `vaddr`. [`bump`](Candidates::bump) fires
+    /// exactly once, at the threshold — so after a fragment is invalidated
+    /// (evicted, or killed by a self-modifying store) its start address
+    /// must be reset or it could never re-heat and re-translate.
+    pub fn reset(&mut self, vaddr: u64) {
+        self.counters.remove(&vaddr);
+    }
+
     /// Number of distinct candidate addresses seen.
     pub fn len(&self) -> usize {
         self.counters.len()
@@ -98,6 +107,16 @@ pub enum InterpEvent {
         /// The condition.
         trap: Trap,
     },
+    /// The executed instruction stored into a guest page holding
+    /// translated source code. The store **has** completed (interpretation
+    /// is always architecturally current); the VM must invalidate the
+    /// affected fragments before any of them runs again.
+    SmcStore {
+        /// Guest address written.
+        addr: u64,
+        /// Width of the store in bytes.
+        len: u64,
+    },
 }
 
 /// Interprets a single instruction, updating candidate counters for the
@@ -108,6 +127,12 @@ pub enum InterpEvent {
 ///
 /// `stats` counts interpreted instructions (for the translation-overhead
 /// model).
+///
+/// When `smc` is a translation cache, stores into pages holding
+/// translated source code are reported as [`InterpEvent::SmcStore`] so
+/// the VM can invalidate before the stale fragments run again; `None`
+/// disables the check (no cache to protect).
+#[allow(clippy::too_many_arguments)]
 pub fn interp_step(
     cpu: &mut CpuState,
     mem: &mut Memory,
@@ -116,6 +141,7 @@ pub fn interp_step(
     config: &ProfileConfig,
     interpreted: &mut u64,
     output: &mut Vec<u8>,
+    smc: Option<&TranslationCache>,
 ) -> InterpEvent {
     let pc = cpu.pc;
     let inst = match decoded.fetch(pc) {
@@ -130,6 +156,16 @@ pub fn interp_step(
         output.push(b);
     }
     *interpreted += 1;
+    if let (Some(cache), Some(acc)) = (smc, outcome.mem) {
+        // Stores never transfer control on Alpha, so reporting the SMC hit
+        // instead of the (Sequential) control outcome loses nothing.
+        if acc.is_store && cache.smc_hit(acc.addr, acc.bytes as u64) {
+            return InterpEvent::SmcStore {
+                addr: acc.addr,
+                len: acc.bytes as u64,
+            };
+        }
+    }
     match outcome.control {
         Control::Halt => InterpEvent::Halted,
         Control::Indirect { target, .. } => {
@@ -307,6 +343,7 @@ mod tests {
                 &config,
                 &mut interp,
                 &mut Vec::new(),
+                None,
             ) {
                 InterpEvent::Hot { vaddr } => {
                     hot = Some(vaddr);
@@ -340,6 +377,7 @@ mod tests {
             &config,
             &mut n,
             &mut Vec::new(),
+            None,
         );
         assert_eq!(cpu.pc, 0x1004);
         let sb = collect_superblock(&mut cpu, &mut mem, &program, &config).unwrap();

@@ -835,6 +835,7 @@ impl<'p> StraightenedVm<'p> {
                 &self.profile,
                 &mut self.stats.interpreted,
                 &mut self.output,
+                None,
             ) {
                 InterpEvent::Continue => {}
                 InterpEvent::Halted => return VmExit::Halted,
@@ -848,6 +849,9 @@ impl<'p> StraightenedVm<'p> {
                         state: Box::new(self.cpu.registers()),
                     }
                 }
+                // The straightened VM keeps no invalidatable cache, so the
+                // SMC check is disabled above; unreachable.
+                InterpEvent::SmcStore { .. } => {}
             }
         }
     }

@@ -11,13 +11,15 @@
 use crate::classify::CategoryCounts;
 use crate::cost::CostModel;
 use crate::engine::{Engine, EngineConfig, FragExit, TraceSink};
-use crate::fragment::TranslationCache;
+use crate::error::VmError;
+use crate::fragment::{FragmentId, TranslationCache};
 use crate::profile::{
     collect_superblock_with_output, interp_step, Candidates, InterpEvent, ProfileConfig,
 };
-use crate::translate::Translator;
+use crate::translate::{ChainPolicy, Translator};
 use alpha_isa::{CpuState, DecodeCache, Memory, Program, Trap};
 use ildp_uarch::{DynInst, InstClass};
+use std::collections::HashMap;
 
 /// Dynamo-style phase-change flushing (paper §4.1, after Dynamo): when
 /// fragment formation accelerates abruptly — the signature of a program
@@ -74,7 +76,7 @@ pub enum OnViolation {
 }
 
 /// VM configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct VmConfig {
     /// Translator settings (ISA form, chaining policy, accumulators).
     pub translator: Translator,
@@ -91,6 +93,37 @@ pub struct VmConfig {
     pub validator: Option<InstallValidator>,
     /// Response to validator rejections.
     pub on_violation: OnViolation,
+    /// Optional translation-cache code budget in bytes: installing past it
+    /// clock-evicts cold fragments ([`VmStats::evictions`]). `None` keeps
+    /// the unbounded cache the paper assumes.
+    pub cache_budget: Option<u64>,
+    /// Optional per-dispatch watchdog fuel in V-ISA instructions: an
+    /// engine dispatch retiring more is preempted at the next fragment
+    /// boundary and its entry region demoted. `None` disables the
+    /// watchdog.
+    pub fuel: Option<u64>,
+    /// Degradation-ladder depth: how many demotions a region takes before
+    /// it is blacklisted to interpret-only. Level 0 translates with the
+    /// configured translator, levels ≥ 1 without the optional
+    /// optimizations; `max_demotions` of 0 means interpret everything.
+    pub max_demotions: u8,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            translator: Translator::default(),
+            profile: ProfileConfig::default(),
+            engine: EngineConfig::default(),
+            cost: CostModel::default(),
+            flush: None,
+            validator: None,
+            on_violation: OnViolation::default(),
+            cache_budget: None,
+            fuel: None,
+            max_demotions: 2,
+        }
+    }
 }
 
 /// Why a VM run ended.
@@ -109,6 +142,13 @@ pub enum VmExit {
     },
     /// The instruction budget was exhausted.
     Budget,
+    /// A structural runtime invariant failed (a corrupted or stale
+    /// fragment reached execution). The VM is stopped; the architected
+    /// state is the last consistent fragment-boundary state.
+    Fault {
+        /// What failed.
+        error: VmError,
+    },
 }
 
 /// Aggregate statistics of a VM run (feeding Table 2, Figure 7 and the
@@ -143,6 +183,20 @@ pub struct VmStats {
     pub verify_nanos: u64,
     /// Translations refused under [`OnViolation::Reject`].
     pub verify_rejected: u64,
+    /// Fragments clock-evicted under the cache budget.
+    pub evictions: u64,
+    /// Fragments invalidated by guest stores into their source pages.
+    pub smc_invalidations: u64,
+    /// Degradation-ladder transitions (each region counts once per level
+    /// it descends).
+    pub demotions: u64,
+    /// Regions that reached the bottom of the ladder (interpret-only).
+    pub blacklisted: u64,
+    /// Engine dispatches preempted by the watchdog fuel budget.
+    pub fuel_preemptions: u64,
+    /// Direct-link sites un-patched back to slow-path exits by precise
+    /// invalidation.
+    pub unlinked_sites: u64,
     /// Dynamic engine statistics.
     pub engine: crate::engine::EngineStats,
     /// Static usage-category counts across all translations.
@@ -193,6 +247,18 @@ impl VmStats {
             self.translation_overhead as f64 / self.translated_src_insts as f64
         }
     }
+
+    /// Fraction of retired V-ISA instructions that ran interpreted — the
+    /// degradation metric: 0 is fully translated, 1 is interpret-only
+    /// (everything evicted, invalidated or blacklisted).
+    pub fn interp_fallback_ratio(&self) -> f64 {
+        let total = self.interpreted + self.engine.v_insts;
+        if total == 0 {
+            0.0
+        } else {
+            self.interpreted as f64 / total as f64
+        }
+    }
 }
 
 /// The co-designed VM. See the module documentation.
@@ -230,7 +296,16 @@ pub struct Vm<'p> {
     engine: Engine,
     stats: VmStats,
     /// V-inst timestamps of recent fragment creations (flush policy).
+    /// Meaningful only within `window_epoch`.
     recent_fragments: Vec<u64>,
+    /// The cache epoch `recent_fragments` belongs to: an epoch bump from
+    /// any source resets the flush window.
+    window_epoch: u64,
+    /// Degradation-ladder level per region entry V-address.
+    demotion: HashMap<u64, u8>,
+    /// SMC invalidations per region entry V-address (repeat offenders are
+    /// demoted).
+    smc_counts: HashMap<u64, u32>,
     /// Console bytes in emission order (interpreted + translated).
     output: Vec<u8>,
 }
@@ -239,6 +314,12 @@ impl<'p> Vm<'p> {
     /// Creates a VM with the program loaded and the PC at its entry.
     pub fn new(config: VmConfig, program: &'p Program) -> Vm<'p> {
         let (cpu, mem) = program.load();
+        // The VmConfig-level fuel knob flows into the engine config; an
+        // explicit EngineConfig::fuel wins if both are set.
+        let engine_config = EngineConfig {
+            fuel: config.engine.fuel.or(config.fuel),
+            ..config.engine
+        };
         Vm {
             config,
             program,
@@ -247,9 +328,12 @@ impl<'p> Vm<'p> {
             mem,
             candidates: Candidates::new(),
             cache: TranslationCache::new(),
-            engine: Engine::new(config.engine),
+            engine: Engine::new(engine_config),
             stats: VmStats::default(),
             recent_fragments: Vec::new(),
+            window_epoch: 0,
+            demotion: HashMap::new(),
+            smc_counts: HashMap::new(),
             output: Vec::new(),
         }
     }
@@ -264,9 +348,23 @@ impl<'p> Vm<'p> {
         &self.cache
     }
 
+    /// Mutable access to the translation cache, for fault-injection
+    /// harnesses and external cache management. Invalidation should go
+    /// through [`invalidate_fragment`](Vm::invalidate_fragment) /
+    /// [`notify_code_write`](Vm::notify_code_write), which also maintain
+    /// the engine-side links and profile counters.
+    pub fn cache_mut(&mut self) -> &mut TranslationCache {
+        &mut self.cache
+    }
+
     /// The architected CPU state.
     pub fn cpu(&self) -> &CpuState {
         &self.cpu
+    }
+
+    /// The guest memory (inspection, e.g. differential testing).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
     }
 
     /// Console output produced so far (interpreted + translated), in
@@ -281,26 +379,105 @@ impl<'p> Vm<'p> {
         self.stats.interpreted + self.engine.stats.v_insts
     }
 
+    /// The translator / profiler pair for one degradation level. Level 0
+    /// is the configured pair; demoted regions lose the optional
+    /// optimizations — predictive chaining (sw-pred, dual-RAS) and memory
+    /// fusion — and translate shorter superblocks, the leaner tier the
+    /// ladder retries before blacklisting.
+    fn translation_tier(&self, level: u8) -> (Translator, ProfileConfig) {
+        if level == 0 {
+            (self.config.translator, self.config.profile)
+        } else {
+            (
+                Translator {
+                    chain: ChainPolicy::NoPred,
+                    fuse_memory: false,
+                    ..self.config.translator
+                },
+                ProfileConfig {
+                    max_superblock: self.config.profile.max_superblock.min(32),
+                    ..self.config.profile
+                },
+            )
+        }
+    }
+
+    /// Descends one degradation-ladder level for the region at `vstart`
+    /// and resets its profile counter so it can re-heat into the leaner
+    /// tier (or, at the bottom, stay interpreted).
+    fn demote(&mut self, vstart: u64) {
+        let level = self.demotion.entry(vstart).or_insert(0);
+        if *level >= self.config.max_demotions {
+            return;
+        }
+        *level += 1;
+        self.stats.demotions += 1;
+        if *level >= self.config.max_demotions {
+            self.stats.blacklisted += 1;
+        }
+        self.candidates.reset(vstart);
+    }
+
+    /// Precisely invalidates one fragment: the cache slot and every
+    /// incoming direct link (cache side), the dual-RAS links (engine
+    /// side), and the region's profile counter so it can re-heat. Returns
+    /// the fragment's entry V-address, or `None` if the id was already
+    /// dead.
+    pub fn invalidate_fragment(&mut self, id: FragmentId) -> Option<u64> {
+        let vstart = self.cache.invalidate(id)?;
+        self.engine.unlink_fragment(id);
+        self.candidates.reset(vstart);
+        Some(vstart)
+    }
+
+    /// Notifies the VM that guest memory in `[addr, addr + len)` was
+    /// written: every fragment whose source code shares a page with the
+    /// range is invalidated (self-modifying-code response), and regions
+    /// invalidated repeatedly are demoted down the ladder. The engine and
+    /// interpreter SMC detection paths both land here; it is public so an
+    /// embedder can report external code writes (DMA, another core).
+    pub fn notify_code_write(&mut self, addr: u64, len: u64) {
+        for id in self.cache.fragments_on_write(addr, len) {
+            if let Some(vstart) = self.invalidate_fragment(id) {
+                self.stats.smc_invalidations += 1;
+                let n = {
+                    let n = self.smc_counts.entry(vstart).or_insert(0);
+                    *n += 1;
+                    *n
+                };
+                if n >= 2 {
+                    self.demote(vstart);
+                }
+            }
+        }
+    }
+
     fn translate_at(&mut self, vaddr: u64) -> bool {
         debug_assert_eq!(self.cpu.pc, vaddr);
         if self.cache.lookup(vaddr).is_some() {
             return true;
         }
+        let level = self.demotion.get(&vaddr).copied().unwrap_or(0);
+        if level >= self.config.max_demotions {
+            // Bottom of the ladder: this region stays interpreted.
+            return false;
+        }
+        let (translator, profile) = self.translation_tier(level);
         match collect_superblock_with_output(
             &mut self.cpu,
             &mut self.mem,
             self.program,
-            &self.config.profile,
+            &profile,
             &mut self.output,
         ) {
             Ok(sb) if !sb.is_empty() => {
                 self.maybe_flush();
-                let out = self.config.translator.translate(&sb);
+                let out = translator.translate(&sb);
                 if let Some(validator) = self.config.validator {
                     let review = InstallReview {
                         sb: &sb,
                         code: &out,
-                        translator: &self.config.translator,
+                        translator: &translator,
                     };
                     let t0 = std::time::Instant::now();
                     let verdict = validator(&review);
@@ -320,6 +497,9 @@ impl<'p> Vm<'p> {
                                 self.stats.verify_rejected += 1;
                                 // Collection still executed the path once.
                                 self.stats.interpreted += out.src_inst_count as u64;
+                                // Ladder: retry without the optional
+                                // optimizations, then blacklist.
+                                self.demote(out.vstart);
                                 return false;
                             }
                         }
@@ -343,14 +523,20 @@ impl<'p> Vm<'p> {
                 // interpreted work (the paper's collection runs during
                 // interpretation).
                 self.stats.interpreted += out.src_inst_count as u64;
-                self.cache.install(
+                let id = self.cache.install(
                     out.vstart,
-                    self.config.translator.form,
+                    translator.form,
                     out.insts,
                     out.meta,
                     out.src_inst_count,
                     out.recovery,
                 );
+                if let Some(budget) = self.config.cache_budget {
+                    for (fid, vstart) in self.cache.enforce_budget(budget, id) {
+                        self.engine.unlink_fragment(fid);
+                        self.candidates.reset(vstart);
+                    }
+                }
                 true
             }
             Ok(_) => false,
@@ -376,6 +562,7 @@ impl<'p> Vm<'p> {
             }
             // Execute translated code when the current PC has a fragment.
             if let Some(fid) = self.cache.lookup(self.cpu.pc) {
+                let entry_vstart = self.cpu.pc;
                 let engine_budget = budget.saturating_sub(self.stats.interpreted);
                 let engine_exit = self.engine.run(
                     &mut self.cache,
@@ -407,6 +594,38 @@ impl<'p> Vm<'p> {
                         self.finish_overheads();
                         return VmExit::Trapped { vaddr, trap, state };
                     }
+                    FragExit::SmcStore {
+                        addr,
+                        len,
+                        vaddr,
+                        state,
+                    } => {
+                        // The engine stopped *before* the store with
+                        // recovered precise state; re-raise from the
+                        // store's V-address so the write executes
+                        // interpretively against the freshly-invalidated
+                        // cache (no livelock: invalidation unwatches the
+                        // page).
+                        self.cpu.set_registers(&state);
+                        self.cpu.pc = vaddr;
+                        self.notify_code_write(addr, len);
+                    }
+                    FragExit::Preempted { vtarget } => {
+                        // The fragment chain exceeded its fuel budget
+                        // without yielding to the dispatcher: demote the
+                        // entry region and drop its fragment so the next
+                        // heat-up takes the leaner tier.
+                        self.cpu.pc = vtarget;
+                        self.stats.fuel_preemptions += 1;
+                        self.demote(entry_vstart);
+                        if let Some(id) = self.cache.lookup(entry_vstart) {
+                            self.invalidate_fragment(id);
+                        }
+                    }
+                    FragExit::Fault { error } => {
+                        self.finish_overheads();
+                        return VmExit::Fault { error };
+                    }
                 }
                 continue;
             }
@@ -419,6 +638,7 @@ impl<'p> Vm<'p> {
                 &self.config.profile,
                 &mut self.stats.interpreted,
                 &mut self.output,
+                Some(&self.cache),
             ) {
                 InterpEvent::Continue => {}
                 InterpEvent::Halted => {
@@ -436,6 +656,12 @@ impl<'p> Vm<'p> {
                         state: Box::new(self.cpu.registers()),
                     };
                 }
+                InterpEvent::SmcStore { addr, len } => {
+                    // The interpreted store has already completed and
+                    // architected state is current; just invalidate the
+                    // touched fragments.
+                    self.notify_code_write(addr, len);
+                }
             }
         }
     }
@@ -445,6 +671,15 @@ impl<'p> Vm<'p> {
         let Some(policy) = self.config.flush else {
             return;
         };
+        // The window counters describe one cache epoch. If the epoch
+        // moved underneath us (our own flush below, or an external
+        // `cache_mut().flush()`), stale timestamps from before the flush
+        // would re-trigger immediately and double-flush back-to-back
+        // phase changes — reset the window atomically with the epoch.
+        if self.window_epoch != self.cache.epoch() {
+            self.window_epoch = self.cache.epoch();
+            self.recent_fragments.clear();
+        }
         let now = self.v_instructions();
         self.recent_fragments.push(now);
         let cutoff = now.saturating_sub(policy.window);
@@ -452,6 +687,7 @@ impl<'p> Vm<'p> {
         if self.recent_fragments.len() as u32 > policy.max_new_fragments {
             self.cache.flush();
             self.stats.cache_flushes += 1;
+            self.window_epoch = self.cache.epoch();
             self.recent_fragments.clear();
         }
     }
@@ -460,6 +696,8 @@ impl<'p> Vm<'p> {
         self.stats.interpretation_overhead =
             self.stats.interpreted * self.config.cost.interp_cost_per_inst();
         self.stats.translated_code_bytes = self.cache.total_code_bytes();
+        self.stats.evictions = self.cache.evictions();
+        self.stats.unlinked_sites = self.cache.unpatches();
         self.stats.engine = self.engine.stats.clone();
     }
 }

@@ -125,7 +125,7 @@ fn flush_resets_cache_but_execution_recovers() {
     // After flushing, the hot phase-2 code was re-translated: the cache
     // ends non-empty and most instructions still ran translated.
     assert!(vm.stats().cache_flushes > 0);
-    assert!(!vm.cache().fragments().is_empty());
+    assert!(vm.cache().fragments().count() > 0);
     let translated_share = vm.stats().engine.v_insts as f64
         / (vm.stats().engine.v_insts + vm.stats().interpreted) as f64;
     assert!(

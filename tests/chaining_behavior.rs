@@ -72,7 +72,7 @@ fn patching_links_hot_fragments() {
     );
     // Once chained, control flows fragment-to-fragment without the
     // translator: far more fragment entries than fragments.
-    let entries: u64 = vm.cache().fragments().iter().map(|f| f.entries).sum();
+    let entries: u64 = vm.cache().fragments().map(|f| f.entries).sum();
     assert!(entries > 500, "only {entries} fragment entries");
 }
 
