@@ -53,6 +53,10 @@ pub struct Memory {
 }
 
 impl Memory {
+    /// Bytes per backing page — the granularity of [`pages`](Memory::pages)
+    /// and [`set_page`](Memory::set_page).
+    pub const PAGE_BYTES: usize = PAGE_SIZE;
+
     /// Creates an empty (all-zero) memory.
     pub fn new() -> Memory {
         Memory::default()
@@ -83,6 +87,26 @@ impl Memory {
             digest ^= h;
         }
         digest
+    }
+
+    /// Iterates the resident pages as `(page_number, contents)` in
+    /// unspecified order. Page `n` covers guest addresses
+    /// `[n * PAGE_BYTES, (n + 1) * PAGE_BYTES)`; absent pages read zero.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.pages.iter().map(|(&n, p)| (n, &p[..]))
+    }
+
+    /// Replaces the contents of page `page_no` (snapshot restore). Short
+    /// input leaves the tail of the page zero; bytes past
+    /// [`PAGE_BYTES`](Memory::PAGE_BYTES) are ignored.
+    pub fn set_page(&mut self, page_no: u64, bytes: &[u8]) {
+        let page = self
+            .pages
+            .entry(page_no)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        **page = [0u8; PAGE_SIZE];
+        let n = bytes.len().min(PAGE_SIZE);
+        page[..n].copy_from_slice(&bytes[..n]);
     }
 
     #[inline]
@@ -235,6 +259,24 @@ mod tests {
         let data = b"hello, alpha";
         mem.write_bytes(0x2000, data);
         assert_eq!(mem.read_bytes(0x2000, data.len()), data);
+    }
+
+    #[test]
+    fn page_snapshot_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x1_0008, 0xdead_beef);
+        mem.write_u8(0x7_3000, 7);
+        let mut copy = Memory::new();
+        for (n, bytes) in mem.pages() {
+            copy.set_page(n, bytes);
+        }
+        assert_eq!(copy.content_digest(), mem.content_digest());
+        assert_eq!(copy.read_u64(0x1_0008), 0xdead_beef);
+        // set_page replaces the whole page, clearing stale contents.
+        copy.write_u8(0x1_0100, 0xaa);
+        copy.set_page(0x1_0000 >> PAGE_SHIFT, &mem.read_bytes(0x1_0000, PAGE_SIZE));
+        assert_eq!(copy.read_u8(0x1_0100), 0);
+        assert_eq!(copy.content_digest(), mem.content_digest());
     }
 
     #[test]

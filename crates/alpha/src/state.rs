@@ -32,6 +32,14 @@ impl CpuState {
         }
     }
 
+    /// Creates a state with the given PC and register file (the `R31`
+    /// slot forced to zero) — the snapshot-restore constructor.
+    pub fn with_registers(pc: u64, regs: &[u64; 32]) -> CpuState {
+        let mut cpu = CpuState::new(pc);
+        cpu.set_registers(regs);
+        cpu
+    }
+
     /// Reads a register (`R31` reads zero).
     #[inline]
     pub fn read(&self, r: Reg) -> u64 {

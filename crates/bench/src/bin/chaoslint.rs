@@ -10,17 +10,131 @@
 //! audit and healed by precise invalidation, and every run must halt with
 //! the architected state of a pure interpreter.
 //!
+//! Every cell is recorded: a failure prints the exact cell spec
+//! (`workload:form:chain:seed`) and a structured JSON failure report, and
+//! `--repro <spec>` re-runs precisely that cell (with record→replay
+//! verification). `--seed <n>` runs the whole sweep with that single seed
+//! per cell instead of the default schedule. A failing spec feeds
+//! straight into `triage --chaos <spec>`.
+//!
 //! Usage: `cargo run --release -p ildp-bench --bin chaoslint`
 //! (`ILDP_SCALE` scales the workloads, default 10; `ILDP_CHAOS_SEEDS`
 //! seeds per cell, default 1.)
 
-use ildp_bench::chaos::{chaos_cell, ChaosReport};
-use ildp_bench::harness_scale;
+use ildp_bench::chaos::{chaos_cell_recorded, chaos_replay, CellSpec, ChaosReport};
+use ildp_bench::{harness_scale, json_escape};
 use ildp_core::ChainPolicy;
 use ildp_isa::IsaForm;
 use spec_workloads::suite;
 
+/// A failed cell: the spec that reproduces it and what went wrong.
+struct Failure {
+    cell: CellSpec,
+    error: String,
+}
+
+fn emit_failure_report(failures: &[Failure], total: &ChaosReport) {
+    println!("chaoslint: FAILURE REPORT");
+    let items: Vec<String> = failures
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"cell\":\"{}\",\"error\":\"{}\"}}",
+                json_escape(&f.cell.to_string()),
+                json_escape(&f.error)
+            )
+        })
+        .collect();
+    println!(
+        "{{\"tool\":\"chaoslint\",\"scale\":{},\"injections\":{},\"undetected\":{},\"failures\":[{}]}}",
+        harness_scale(),
+        total.injections,
+        total.undetected,
+        items.join(",")
+    );
+    for f in failures {
+        println!("rerun: chaoslint --repro {}", f.cell);
+        println!("triage: triage --chaos {} -o fail.repro", f.cell);
+    }
+}
+
+/// Re-runs exactly one recorded cell, then verifies the recorded envelope
+/// replays to the identical tally.
+fn run_repro(spec: &CellSpec) -> i32 {
+    let w = spec.workload(harness_scale());
+    println!("chaoslint: re-running cell {spec}");
+    let (res, log) = chaos_cell_recorded(&w, spec.form, spec.chain, spec.seed);
+    let report = match res {
+        Ok(r) => r,
+        Err(e) => {
+            emit_failure_report(
+                &[Failure {
+                    cell: spec.clone(),
+                    error: e,
+                }],
+                &ChaosReport::default(),
+            );
+            return 1;
+        }
+    };
+    println!(
+        "cell passed: {} injections, {} healed, {} undetected",
+        report.injections, report.healed, report.undetected
+    );
+    match chaos_replay(&w, spec.form, spec.chain, &log) {
+        Ok(replayed) if replayed == report => {
+            println!("record/replay verified: replayed tally identical");
+            0
+        }
+        Ok(_) => {
+            println!("chaoslint: replayed tally DIFFERS from recorded run");
+            1
+        }
+        Err(e) => {
+            println!("chaoslint: replay failed where recording passed: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed_override: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--repro" => {
+                let spec = args.get(i + 1).map(|s| CellSpec::parse(s));
+                match spec {
+                    Some(Ok(spec)) => std::process::exit(run_repro(&spec)),
+                    Some(Err(e)) => {
+                        eprintln!("chaoslint: {e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("chaoslint: --repro needs workload:form:chain:seed");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(s) => seed_override = Some(s),
+                    None => {
+                        eprintln!("chaoslint: --seed needs a number");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("chaoslint: unknown argument {other:?}");
+                eprintln!("usage: chaoslint [--seed <n>] [--repro workload:form:chain:seed]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let scale = harness_scale();
     let seeds: u64 = std::env::var("ILDP_CHAOS_SEEDS")
         .ok()
@@ -35,7 +149,7 @@ fn main() {
     let forms = [IsaForm::Basic, IsaForm::Modified];
 
     let mut total = ChaosReport::default();
-    let mut divergences = Vec::new();
+    let mut failures = Vec::new();
     let mut cell_index = 0u64;
     for w in &suite {
         for &form in &forms {
@@ -43,9 +157,16 @@ fn main() {
                 let mut cell_total = ChaosReport::default();
                 for s in 0..seeds {
                     cell_index += 1;
-                    match chaos_cell(w, form, chain, cell_index * 1000 + s) {
+                    let seed = seed_override.unwrap_or(cell_index * 1000 + s);
+                    let spec = CellSpec {
+                        workload: w.name.to_string(),
+                        form,
+                        chain,
+                        seed,
+                    };
+                    match chaos_cell_recorded(w, form, chain, seed).0 {
                         Ok(report) => cell_total.merge(&report),
-                        Err(msg) => divergences.push(msg),
+                        Err(error) => failures.push(Failure { cell: spec, error }),
                     }
                 }
                 total.merge(&cell_total);
@@ -75,12 +196,10 @@ fn main() {
         total.code_writes,
         total.healed,
         total.undetected,
-        divergences.len(),
+        failures.len(),
     );
-    for msg in &divergences {
-        println!("    {msg}");
-    }
-    if !divergences.is_empty() || total.undetected > 0 {
+    if !failures.is_empty() || total.undetected > 0 {
+        emit_failure_report(&failures, &total);
         std::process::exit(1);
     }
     if total.injections < 500 {

@@ -5,19 +5,153 @@
 //! every translated fragment is checked by all four static passes at
 //! install time; after each run the installed (patched, linked)
 //! fragments are audited again against the cache. Prints a per-cell
-//! summary and exits non-zero if any fragment violates any rule.
+//! summary and exits non-zero if any fragment violates any rule; on
+//! failure it also emits a structured JSON report naming each violating
+//! cell as `workload:form:chain`, which `--repro <cell>` re-runs alone.
 //!
 //! Usage: `cargo run --release -p ildp-bench --bin vlint`
 //! (`ILDP_SCALE` scales the workloads, default 10.)
 
-use ildp_bench::harness_scale;
+use ildp_bench::{harness_scale, json_escape};
 use ildp_core::{ChainPolicy, NullSink, Translator, Vm, VmConfig, VmExit};
 use ildp_isa::IsaForm;
 use ildp_verifier::{take_report, verify_installed, Violation};
-use spec_workloads::suite;
+use spec_workloads::{by_name, suite, Workload, NAMES};
+
+/// One verification cell: workload × form × chain, `--repro`-addressable.
+struct Cell<'w> {
+    workload: &'w Workload,
+    form: IsaForm,
+    chain: ChainPolicy,
+}
+
+impl Cell<'_> {
+    fn spec(&self) -> String {
+        let form = match self.form {
+            IsaForm::Basic => "basic",
+            IsaForm::Modified => "modified",
+        };
+        format!("{}:{}:{}", self.workload.name, form, self.chain.label())
+    }
+}
+
+fn parse_spec(s: &str, scale: u32) -> Result<(Workload, IsaForm, ChainPolicy), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [workload, form, chain] = parts[..] else {
+        return Err(format!("bad cell spec {s:?}: want workload:form:chain"));
+    };
+    if !NAMES.contains(&workload) {
+        return Err(format!("unknown workload {workload:?}"));
+    }
+    let form = match form {
+        "basic" => IsaForm::Basic,
+        "modified" => IsaForm::Modified,
+        other => return Err(format!("unknown ISA form {other:?}")),
+    };
+    let chain = match chain {
+        "no_pred" => ChainPolicy::NoPred,
+        "sw_pred.no_ras" => ChainPolicy::SwPred,
+        "sw_pred.ras" => ChainPolicy::SwPredDualRas,
+        other => return Err(format!("unknown chain policy {other:?}")),
+    };
+    Ok((by_name(workload, scale).unwrap(), form, chain))
+}
+
+/// Runs one cell and returns (fragments verified, violations).
+fn run_cell(cell: &Cell<'_>) -> (u64, Vec<Violation>) {
+    let config = VmConfig {
+        translator: Translator {
+            form: cell.form,
+            chain: cell.chain,
+            acc_count: 4,
+            fuse_memory: false,
+        },
+        validator: Some(ildp_verifier::collecting_validator),
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::new(config, &cell.workload.program);
+    let exit = vm.run(cell.workload.budget * 2, &mut NullSink);
+    if let VmExit::Trapped { vaddr, trap, .. } = exit {
+        panic!(
+            "{}: unexpected trap at {vaddr:#x}: {trap}",
+            cell.workload.name
+        );
+    }
+    let mut violations: Vec<Violation> = take_report();
+    let cache = vm.cache();
+    for frag in cache.fragments() {
+        violations.extend(verify_installed(cache, frag));
+    }
+    (vm.stats().fragments_verified, violations)
+}
+
+fn emit_failure_report(failing: &[(String, Vec<Violation>)]) {
+    println!("vlint: FAILURE REPORT");
+    let items: Vec<String> = failing
+        .iter()
+        .map(|(spec, violations)| {
+            let vs: Vec<String> = violations
+                .iter()
+                .map(|v| format!("\"{}\"", json_escape(&v.to_string())))
+                .collect();
+            format!(
+                "{{\"cell\":\"{}\",\"violations\":[{}]}}",
+                json_escape(spec),
+                vs.join(",")
+            )
+        })
+        .collect();
+    println!(
+        "{{\"tool\":\"vlint\",\"scale\":{},\"failures\":[{}]}}",
+        harness_scale(),
+        items.join(",")
+    );
+    for (spec, _) in failing {
+        println!("rerun: vlint --repro {spec}");
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = harness_scale();
+    if let Some(pos) = args.iter().position(|a| a == "--repro") {
+        let Some(spec) = args.get(pos + 1) else {
+            eprintln!("vlint: --repro needs workload:form:chain");
+            std::process::exit(2);
+        };
+        let (workload, form, chain) = match parse_spec(spec, scale) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("vlint: {e}");
+                std::process::exit(2);
+            }
+        };
+        let cell = Cell {
+            workload: &workload,
+            form,
+            chain,
+        };
+        println!("vlint: re-running cell {}", cell.spec());
+        let (fragments, violations) = run_cell(&cell);
+        println!(
+            "{fragments} fragments verified, {} violations",
+            violations.len()
+        );
+        for v in &violations {
+            println!("    {v}");
+        }
+        if !violations.is_empty() {
+            emit_failure_report(&[(cell.spec(), violations)]);
+            std::process::exit(1);
+        }
+        return;
+    }
+    if !args.is_empty() {
+        eprintln!("vlint: unknown arguments {args:?}");
+        eprintln!("usage: vlint [--repro workload:form:chain]");
+        std::process::exit(2);
+    }
+
     let suite = suite(scale);
     let chains = [
         ChainPolicy::NoPred,
@@ -28,31 +162,17 @@ fn main() {
 
     let mut total_fragments = 0u64;
     let mut total_violations = 0usize;
+    let mut failing: Vec<(String, Vec<Violation>)> = Vec::new();
 
     for w in &suite {
         for &form in &forms {
             for &chain in &chains {
-                let config = VmConfig {
-                    translator: Translator {
-                        form,
-                        chain,
-                        acc_count: 4,
-                        fuse_memory: false,
-                    },
-                    validator: Some(ildp_verifier::collecting_validator),
-                    ..VmConfig::default()
+                let cell = Cell {
+                    workload: w,
+                    form,
+                    chain,
                 };
-                let mut vm = Vm::new(config, &w.program);
-                let exit = vm.run(w.budget * 2, &mut NullSink);
-                if let VmExit::Trapped { vaddr, trap, .. } = exit {
-                    panic!("{}: unexpected trap at {vaddr:#x}: {trap}", w.name);
-                }
-                let mut violations: Vec<Violation> = take_report();
-                let cache = vm.cache();
-                for frag in cache.fragments() {
-                    violations.extend(verify_installed(cache, frag));
-                }
-                let fragments = vm.stats().fragments_verified;
+                let (fragments, violations) = run_cell(&cell);
                 total_fragments += fragments;
                 total_violations += violations.len();
                 println!(
@@ -66,6 +186,9 @@ fn main() {
                 for v in &violations {
                     println!("    {v}");
                 }
+                if !violations.is_empty() {
+                    failing.push((cell.spec(), violations));
+                }
             }
         }
     }
@@ -75,6 +198,7 @@ fn main() {
          {total_violations} violations"
     );
     if total_violations > 0 {
+        emit_failure_report(&failing);
         std::process::exit(1);
     }
 }

@@ -10,16 +10,22 @@
 //! identical final state a pure interpreter computes.
 //!
 //! Everything is seeded ([`XorShift`]) and wall-clock free, so a failing
-//! seed replays exactly.
+//! seed replays exactly — and every cell also *records* its
+//! nondeterministic envelope as a [`ReplayLog`] (the run budgets and the
+//! injection schedule), so a failure replays from seed + log with no
+//! generator in the loop ([`chaos_replay`]) and feeds straight into the
+//! divergence-triage engine (`crate::triage`).
 
 use alpha_isa::{step, AlignPolicy, Control, DecodeCache, Program};
 use ildp_core::{
-    ChainPolicy, FragmentId, NullSink, OnViolation, ProfileConfig, Translator, Vm, VmConfig, VmExit,
+    ChainPolicy, FragmentId, NullSink, OnViolation, ProfileConfig, ReplayEvent, ReplayLog,
+    Translator, Vm, VmConfig, VmExit,
 };
 use ildp_isa::{IInst, ITarget, IsaForm};
 use ildp_verifier::verify_installed;
-use spec_workloads::{Workload, XorShift};
+use spec_workloads::{by_name, Workload, XorShift, NAMES};
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// Architected end state of a pure-interpreter reference run.
 pub struct Reference {
@@ -67,7 +73,7 @@ pub fn interp_reference(program: &Program, budget: u64) -> Result<Reference, Str
 }
 
 /// Tally of one chaos cell (workload × form × chain × seed).
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct ChaosReport {
     /// Total faults injected.
     pub injections: u64,
@@ -138,7 +144,7 @@ fn pick_fragment(vm: &Vm, rng: &mut XorShift) -> Option<FragmentId> {
 /// Audits every live fragment with the verifier's C01–C07 installed
 /// checks and heals flagged ones by precise invalidation. Returns the
 /// flagged ids.
-fn audit_and_heal(vm: &mut Vm, report: &mut ChaosReport) -> BTreeSet<u32> {
+pub fn audit_and_heal(vm: &mut Vm, report: &mut ChaosReport) -> BTreeSet<u32> {
     let flagged: Vec<FragmentId> = {
         let cache = vm.cache();
         cache
@@ -155,92 +161,153 @@ fn audit_and_heal(vm: &mut Vm, report: &mut ChaosReport) -> BTreeSet<u32> {
     flagged.iter().map(|id| id.0).collect()
 }
 
-/// Injects one round of faults (one to three). Each structural fault is
-/// audited and healed immediately — injections must not interfere with
-/// each other's detectability — and a structural victim the audit missed
-/// is counted as `undetected`.
-fn inject_round(vm: &mut Vm, rng: &mut XorShift, report: &mut ChaosReport) {
-    let rounds = 1 + rng.next_u64() % 3;
-    for _ in 0..rounds {
-        // The structurally corrupted fragment, which the audit below must
-        // flag.
-        let mut victim: Option<FragmentId> = None;
-        match rng.next_u64() % 6 {
-            0 => {
-                // Sever a direct link out from under its patched branch.
-                if let Some((id, k)) = pick_linked_site(vm, rng) {
-                    vm.cache_mut().fragment_mut(id).links[k] = None;
-                    report.link_clears += 1;
-                    report.injections += 1;
-                    victim = Some(id);
-                }
-            }
-            1 => {
-                // Misdirect a link to a fragment id that never existed.
-                if let Some((id, k)) = pick_linked_site(vm, rng) {
-                    vm.cache_mut().fragment_mut(id).links[k] = Some(FragmentId(u32::MAX - 1));
-                    report.link_poisons += 1;
-                    report.injections += 1;
-                    victim = Some(id);
-                }
-            }
-            2 => {
-                // Retarget a resolved transfer off any fragment entry.
-                // Entries are 8-aligned, so entry+2 can never be one.
-                if let Some((id, k)) = pick_linked_site(vm, rng) {
-                    let f = vm.cache_mut().fragment_mut(id);
-                    match &mut f.insts[k] {
-                        IInst::Branch { target } | IInst::CondBranch { target, .. } => {
-                            if let ITarget::Addr(a) = target {
-                                *target = ITarget::Addr(*a + 2);
-                            }
-                        }
-                        IInst::PushDualRas { iret, .. } => {
-                            if let ITarget::Addr(a) = iret {
-                                *iret = ITarget::Addr(*a + 2);
-                            }
-                        }
-                        _ => continue,
-                    }
-                    report.target_poisons += 1;
-                    report.injections += 1;
-                    victim = Some(id);
-                }
-            }
-            3 => {
-                // Corrupt the entry shape: SetVpcBase names the wrong
-                // V-address.
-                if let Some(id) = pick_fragment(vm, rng) {
-                    let f = vm.cache_mut().fragment_mut(id);
-                    let vstart = f.vstart;
-                    if let Some(IInst::SetVpcBase { vaddr }) = f.insts.first_mut() {
-                        *vaddr = vstart ^ 0x40;
-                        report.vpc_corruptions += 1;
-                        report.injections += 1;
-                        victim = Some(id);
+/// Applies one recorded event to a live VM, updating the tally. Cache
+/// corruptions address their fragment by entry V-address; an event whose
+/// fragment is gone (or whose slot is inapplicable) is a no-op, which
+/// replays deterministically too. Returns the corrupted fragment's id
+/// for structural faults that landed — the victim the C01–C07 audit must
+/// flag — and `None` for benign or landed-nowhere events.
+/// [`ReplayEvent::Run`] is the caller's job and is ignored here.
+pub fn apply_event(vm: &mut Vm, ev: &ReplayEvent, report: &mut ChaosReport) -> Option<FragmentId> {
+    match *ev {
+        ReplayEvent::Run { .. } => None,
+        ReplayEvent::AuditHeal => {
+            audit_and_heal(vm, report);
+            None
+        }
+        ReplayEvent::LinkClear {
+            fragment_vstart,
+            slot,
+        } => {
+            // Sever a direct link out from under its patched branch.
+            let id = vm.cache().lookup(fragment_vstart)?;
+            let f = vm.cache_mut().fragment_mut(id);
+            let link = f.links.get_mut(slot as usize)?;
+            *link = None;
+            report.link_clears += 1;
+            report.injections += 1;
+            Some(id)
+        }
+        ReplayEvent::LinkPoison {
+            fragment_vstart,
+            slot,
+        } => {
+            // Misdirect a link to a fragment id that never existed.
+            let id = vm.cache().lookup(fragment_vstart)?;
+            let f = vm.cache_mut().fragment_mut(id);
+            let link = f.links.get_mut(slot as usize)?;
+            *link = Some(FragmentId(u32::MAX - 1));
+            report.link_poisons += 1;
+            report.injections += 1;
+            Some(id)
+        }
+        ReplayEvent::TargetPoison {
+            fragment_vstart,
+            slot,
+        } => {
+            // Retarget a resolved transfer off any fragment entry.
+            // Entries are 8-aligned, so entry+2 can never be one.
+            let id = vm.cache().lookup(fragment_vstart)?;
+            let f = vm.cache_mut().fragment_mut(id);
+            match f.insts.get_mut(slot as usize)? {
+                IInst::Branch { target } | IInst::CondBranch { target, .. } => {
+                    if let ITarget::Addr(a) = target {
+                        *target = ITarget::Addr(*a + 2);
+                    } else {
+                        return None;
                     }
                 }
+                IInst::PushDualRas { iret, .. } => {
+                    if let ITarget::Addr(a) = iret {
+                        *iret = ITarget::Addr(*a + 2);
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
             }
-            4 => {
-                // Flip the cache epoch: every engine dual-RAS direct link
-                // turns stale and must fall back to dispatch.
-                vm.cache_mut().force_epoch_bump();
-                report.epoch_flips += 1;
+            report.target_poisons += 1;
+            report.injections += 1;
+            Some(id)
+        }
+        ReplayEvent::VpcCorrupt { fragment_vstart } => {
+            // Corrupt the entry shape: SetVpcBase names the wrong
+            // V-address.
+            let id = vm.cache().lookup(fragment_vstart)?;
+            let f = vm.cache_mut().fragment_mut(id);
+            let vstart = f.vstart;
+            if let Some(IInst::SetVpcBase { vaddr }) = f.insts.first_mut() {
+                *vaddr = vstart ^ 0x40;
+                report.vpc_corruptions += 1;
                 report.injections += 1;
-            }
-            _ => {
-                // External store into a translated source page: the SMC
-                // response must invalidate precisely and keep running.
-                if let Some(id) = pick_fragment(vm, rng) {
-                    let f = vm.cache().fragment(id);
-                    let page = f.src_pages[(rng.next_u64() as usize) % f.src_pages.len()];
-                    let addr = (page << ildp_core::SMC_PAGE_SHIFT) + (rng.next_u64() & 0xff8);
-                    vm.notify_code_write(addr, 8);
-                    report.code_writes += 1;
-                    report.injections += 1;
-                }
+                Some(id)
+            } else {
+                None
             }
         }
+        ReplayEvent::EpochFlip => {
+            // Flip the cache epoch: every engine dual-RAS direct link
+            // turns stale and must fall back to dispatch.
+            vm.cache_mut().force_epoch_bump();
+            report.epoch_flips += 1;
+            report.injections += 1;
+            None
+        }
+        ReplayEvent::CodeWrite { addr, len } => {
+            // External store into a translated source page: the SMC
+            // response must invalidate precisely and keep running.
+            vm.notify_code_write(addr, len);
+            report.code_writes += 1;
+            report.injections += 1;
+            None
+        }
+    }
+}
+
+/// Injects one round of faults (one to three), recording each applied
+/// event. Each structural fault is audited and healed immediately —
+/// injections must not interfere with each other's detectability — and a
+/// structural victim the audit missed is counted as `undetected`.
+fn inject_round(
+    vm: &mut Vm,
+    rng: &mut XorShift,
+    report: &mut ChaosReport,
+    events: &mut Vec<ReplayEvent>,
+) {
+    let rounds = 1 + rng.next_u64() % 3;
+    for _ in 0..rounds {
+        let vstart_of = |vm: &Vm, id: FragmentId| vm.cache().fragment(id).vstart;
+        let ev = match rng.next_u64() % 6 {
+            0 => pick_linked_site(vm, rng).map(|(id, k)| ReplayEvent::LinkClear {
+                fragment_vstart: vstart_of(vm, id),
+                slot: k as u32,
+            }),
+            1 => pick_linked_site(vm, rng).map(|(id, k)| ReplayEvent::LinkPoison {
+                fragment_vstart: vstart_of(vm, id),
+                slot: k as u32,
+            }),
+            2 => pick_linked_site(vm, rng).map(|(id, k)| ReplayEvent::TargetPoison {
+                fragment_vstart: vstart_of(vm, id),
+                slot: k as u32,
+            }),
+            3 => pick_fragment(vm, rng).map(|id| ReplayEvent::VpcCorrupt {
+                fragment_vstart: vstart_of(vm, id),
+            }),
+            4 => Some(ReplayEvent::EpochFlip),
+            _ => pick_fragment(vm, rng).map(|id| {
+                let f = vm.cache().fragment(id);
+                let page = f.src_pages[(rng.next_u64() as usize) % f.src_pages.len()];
+                let addr = (page << ildp_core::SMC_PAGE_SHIFT) + (rng.next_u64() & 0xff8);
+                ReplayEvent::CodeWrite { addr, len: 8 }
+            }),
+        };
+        let Some(ev) = ev else { continue };
+        // The structurally corrupted fragment, which the audit below must
+        // flag. Events that land nowhere are still recorded: they replay
+        // as the same no-op.
+        let victim = apply_event(vm, &ev, report);
+        events.push(ev);
+        events.push(ReplayEvent::AuditHeal);
         let flagged = audit_and_heal(vm, report);
         if let Some(v) = victim {
             if !flagged.contains(&v.0) && vm.cache().try_fragment(v).is_some() {
@@ -250,19 +317,12 @@ fn inject_round(vm: &mut Vm, rng: &mut XorShift, report: &mut ChaosReport) {
     }
 }
 
-/// Runs one chaos cell: a capacity-bounded, fuel-limited VM over the
-/// workload with faults injected at every chunk boundary, compared against
-/// the pure-interpreter reference. Returns the tally, or a description of
-/// the divergence.
-pub fn chaos_cell(
-    w: &Workload,
-    form: IsaForm,
-    chain: ChainPolicy,
-    seed: u64,
-) -> Result<ChaosReport, String> {
-    let budget = w.budget * 2;
-    let reference = interp_reference(&w.program, budget).map_err(|e| format!("{}: {e}", w.name))?;
-    let config = VmConfig {
+/// The VM configuration every chaos cell runs under: install-time
+/// validation with rejection, and a cache budget plus fuel watchdog tight
+/// enough that eviction and preemption actually bind at harness scales
+/// (fragments encode to ~50–100 bytes).
+pub fn cell_config(form: IsaForm, chain: ChainPolicy) -> VmConfig {
+    VmConfig {
         translator: Translator {
             form,
             chain,
@@ -275,32 +335,100 @@ pub fn chaos_cell(
         },
         validator: Some(ildp_verifier::install_validator),
         on_violation: OnViolation::Reject,
-        // Tight enough that both the clock hand and the fuel watchdog
-        // actually bind at harness scales (fragments encode to ~50–100
-        // bytes), so eviction and preemption run under fault injection.
         cache_budget: Some(256),
         fuel: Some(2_000),
         ..VmConfig::default()
-    };
-    let mut vm = Vm::new(config, &w.program);
-    let mut rng = XorShift::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
-    let mut report = ChaosReport::default();
-    // Pace the injection boundaries off the reference run's retire count
-    // so every round lands while the workload is still executing.
-    let chunks = 12u64;
-    let mut exit = VmExit::Budget;
-    for c in 1..=chunks {
-        let target = (reference.insts * c / (chunks + 1)).max(1);
-        exit = vm.run(target, &mut NullSink);
-        match exit {
-            VmExit::Budget => inject_round(&mut vm, &mut rng, &mut report),
-            _ => break,
+    }
+}
+
+/// Names one chaos cell — workload × ISA form × chain policy × seed — in
+/// a form both printable on failure and parseable back from a `--repro`
+/// argument: `gzip:modified:sw_pred.ras:7001`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellSpec {
+    /// Workload name, as in [`spec_workloads::NAMES`].
+    pub workload: String,
+    /// I-ISA form under test.
+    pub form: IsaForm,
+    /// Chain policy under test.
+    pub chain: ChainPolicy,
+    /// Cell seed.
+    pub seed: u64,
+}
+
+impl fmt::Display for CellSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let form = match self.form {
+            IsaForm::Basic => "basic",
+            IsaForm::Modified => "modified",
+        };
+        write!(
+            f,
+            "{}:{}:{}:{}",
+            self.workload,
+            form,
+            self.chain.label(),
+            self.seed
+        )
+    }
+}
+
+impl CellSpec {
+    /// Parses the `workload:form:chain:seed` shape printed by
+    /// [`Display`](fmt::Display).
+    pub fn parse(s: &str) -> Result<CellSpec, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [workload, form, chain, seed] = parts[..] else {
+            return Err(format!(
+                "bad cell spec {s:?}: want workload:form:chain:seed"
+            ));
+        };
+        if !NAMES.contains(&workload) {
+            return Err(format!("unknown workload {workload:?}"));
         }
+        let form = match form {
+            "basic" => IsaForm::Basic,
+            "modified" => IsaForm::Modified,
+            other => return Err(format!("unknown ISA form {other:?}")),
+        };
+        let chain = match chain {
+            "no_pred" => ChainPolicy::NoPred,
+            "sw_pred.no_ras" => ChainPolicy::SwPred,
+            "sw_pred.ras" => ChainPolicy::SwPredDualRas,
+            other => return Err(format!("unknown chain policy {other:?}")),
+        };
+        let seed = seed
+            .parse::<u64>()
+            .map_err(|_| format!("bad seed {seed:?}"))?;
+        Ok(CellSpec {
+            workload: workload.to_string(),
+            form,
+            chain,
+            seed,
+        })
     }
-    if exit == VmExit::Budget {
-        exit = vm.run(budget, &mut NullSink);
+
+    /// Builds the workload this cell runs at the given harness scale.
+    pub fn workload(&self, scale: u32) -> Workload {
+        by_name(&self.workload, scale).expect("validated at parse")
     }
-    let cell = format!("{} {form:?} {} seed {seed}", w.name, chain.label());
+
+    /// The VM configuration this cell runs under.
+    pub fn config(&self) -> VmConfig {
+        cell_config(self.form, self.chain)
+    }
+}
+
+/// Checks a finished cell run against the pure-interpreter reference:
+/// clean halt, identical GPR file, output, and memory, and zero
+/// audit-escaped corruptions.
+fn check_outcome(
+    vm: &Vm<'_>,
+    exit: VmExit,
+    reference: &Reference,
+    report: ChaosReport,
+    cell: &str,
+) -> Result<ChaosReport, String> {
     match exit {
         VmExit::Halted => {}
         other => return Err(format!("{cell}: expected clean halt, got {other:?}")),
@@ -321,4 +449,109 @@ pub fn chaos_cell(
         ));
     }
     Ok(report)
+}
+
+/// Runs one chaos cell — a capacity-bounded, fuel-limited VM over the
+/// workload with faults injected at every chunk boundary, compared
+/// against the pure-interpreter reference — while recording the full
+/// nondeterministic envelope. Returns the tally (or a description of the
+/// divergence) *and* the [`ReplayLog`] that reproduces the run exactly,
+/// pass or fail.
+pub fn chaos_cell_recorded(
+    w: &Workload,
+    form: IsaForm,
+    chain: ChainPolicy,
+    seed: u64,
+) -> (Result<ChaosReport, String>, ReplayLog) {
+    let mut log = ReplayLog {
+        seed,
+        ..ReplayLog::default()
+    };
+    let budget = w.budget * 2;
+    let reference = match interp_reference(&w.program, budget) {
+        Ok(r) => r,
+        Err(e) => return (Err(format!("{}: {e}", w.name)), log),
+    };
+    let mut vm = Vm::new(cell_config(form, chain), &w.program);
+    let mut rng = XorShift::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let mut report = ChaosReport::default();
+    // Pace the injection boundaries off the reference run's retire count
+    // so every round lands while the workload is still executing.
+    let chunks = 12u64;
+    let mut exit = VmExit::Budget;
+    for c in 1..=chunks {
+        let target = (reference.insts * c / (chunks + 1)).max(1);
+        log.events.push(ReplayEvent::Run { budget: target });
+        exit = vm.run(target, &mut NullSink);
+        match exit {
+            VmExit::Budget => inject_round(&mut vm, &mut rng, &mut report, &mut log.events),
+            _ => break,
+        }
+    }
+    if exit == VmExit::Budget {
+        log.events.push(ReplayEvent::Run { budget });
+        exit = vm.run(budget, &mut NullSink);
+    }
+    let cell = format!("{} {form:?} {} seed {seed}", w.name, chain.label());
+    (check_outcome(&vm, exit, &reference, report, &cell), log)
+}
+
+/// Runs one chaos cell and returns the tally, or a description of the
+/// divergence. Recording-free wrapper around [`chaos_cell_recorded`].
+pub fn chaos_cell(
+    w: &Workload,
+    form: IsaForm,
+    chain: ChainPolicy,
+    seed: u64,
+) -> Result<ChaosReport, String> {
+    chaos_cell_recorded(w, form, chain, seed).0
+}
+
+/// Re-runs a chaos cell from its recorded envelope: no generator in the
+/// loop, just the logged budgets and injections in order. Produces the
+/// same outcome *and the same tally* as the recorded run — including
+/// `undetected`, which is recomputed by correlating each structural event
+/// with the [`ReplayEvent::AuditHeal`] that follows it.
+pub fn chaos_replay(
+    w: &Workload,
+    form: IsaForm,
+    chain: ChainPolicy,
+    log: &ReplayLog,
+) -> Result<ChaosReport, String> {
+    let budget = w.budget * 2;
+    let reference = interp_reference(&w.program, budget).map_err(|e| format!("{}: {e}", w.name))?;
+    let mut vm = Vm::new(cell_config(form, chain), &w.program);
+    let mut report = ChaosReport::default();
+    let mut exit = VmExit::Budget;
+    // The structural victim of the most recent injection, awaiting its
+    // audit — mirrors the record-side undetected check.
+    let mut pending_victim: Option<FragmentId> = None;
+    for ev in &log.events {
+        match *ev {
+            ReplayEvent::Run { budget } => {
+                exit = vm.run(budget, &mut NullSink);
+                if exit != VmExit::Budget {
+                    // Recorded runs stop scheduling after a non-budget
+                    // exit; a faithful replay reaches it on the same Run.
+                    break;
+                }
+            }
+            ReplayEvent::AuditHeal => {
+                let flagged = audit_and_heal(&mut vm, &mut report);
+                if let Some(v) = pending_victim.take() {
+                    if !flagged.contains(&v.0) && vm.cache().try_fragment(v).is_some() {
+                        report.undetected += 1;
+                    }
+                }
+            }
+            _ => pending_victim = apply_event(&mut vm, ev, &mut report),
+        }
+    }
+    let cell = format!(
+        "{} {form:?} {} replay of seed {}",
+        w.name,
+        chain.label(),
+        log.seed
+    );
+    check_outcome(&vm, exit, &reference, report, &cell)
 }

@@ -11,6 +11,7 @@
 pub mod chaos;
 pub mod report;
 pub mod runners;
+pub mod triage;
 
 pub use report::*;
 pub use runners::*;

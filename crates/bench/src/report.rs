@@ -1,5 +1,23 @@
 //! Plain-text report formatting for the experiment binaries.
 
+/// Escapes a string for embedding in a JSON string literal (the lint
+/// binaries emit structured failure reports without a JSON dependency).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// A simple fixed-width table printer: benchmark rows, named numeric
 /// columns, and an arithmetic-mean footer (the paper reports averages).
 #[derive(Clone, Debug)]

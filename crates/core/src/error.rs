@@ -70,3 +70,66 @@ impl fmt::Display for VmError {
 }
 
 impl std::error::Error for VmError {}
+
+/// Why a serialized snapshot / replay artifact could not be loaded or
+/// applied. Every wire format in the workspace (snapshots, replay logs,
+/// `.repro` bundles) shares the same envelope — magic, version, payload,
+/// FNV-1a checksum trailer — and surfaces its failures through this type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SnapshotError {
+    /// The stream does not begin with the expected magic number (wrong
+    /// artifact kind, or not an artifact at all).
+    BadMagic {
+        /// The magic the reader expected.
+        expected: u32,
+        /// What the stream actually started with.
+        actual: u32,
+    },
+    /// The format version is newer than this build understands.
+    BadVersion {
+        /// The version found in the stream.
+        version: u32,
+    },
+    /// The stream ended before the structure was complete.
+    Truncated,
+    /// The payload does not match its checksum trailer (bit rot or a
+    /// truncated write).
+    ChecksumMismatch {
+        /// Checksum recorded in the trailer.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        actual: u64,
+    },
+    /// The snapshot belongs to a different guest program than the one it
+    /// is being restored onto.
+    ProgramMismatch {
+        /// Digest of the program being restored onto.
+        expected: u64,
+        /// Digest recorded in the snapshot.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SnapshotError::BadMagic { expected, actual } => {
+                write!(f, "bad magic {actual:#010x} (expected {expected:#010x})")
+            }
+            SnapshotError::BadVersion { version } => {
+                write!(f, "unsupported format version {version}")
+            }
+            SnapshotError::Truncated => write!(f, "stream truncated"),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: trailer {expected:#018x}, payload {actual:#018x}"
+            ),
+            SnapshotError::ProgramMismatch { expected, actual } => write!(
+                f,
+                "snapshot belongs to program {actual:#018x}, not {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}

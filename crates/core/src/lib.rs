@@ -34,18 +34,21 @@ mod engine;
 mod error;
 mod fragment;
 mod profile;
+mod replay;
+mod snapshot;
 mod straighten;
 mod strands;
 mod superblock;
 mod translate;
 mod vm;
+pub mod wire;
 
 pub use classify::{
     analyze, analyze_oracle, CategoryCounts, Dataflow, Reaching, UsageCat, ValueId, ValueInfo,
 };
 pub use cost::CostModel;
 pub use engine::{Engine, EngineConfig, EngineStats, FragExit, NullSink, TraceSink};
-pub use error::VmError;
+pub use error::{SnapshotError, VmError};
 pub use fragment::{
     Fragment, FragmentId, IMeta, RecoveryEntry, TranslationCache, CODE_CACHE_BASE,
     DISPATCH_COST_INSTS, DISPATCH_IADDR, SMC_PAGE_SHIFT,
@@ -54,6 +57,8 @@ pub use profile::{
     collect_superblock, collect_superblock_with_output, interp_step, Candidates, InterpEvent,
     ProfileConfig,
 };
+pub use replay::{ReplayEvent, ReplayLog, Sabotage, REPLAY_MAGIC, REPLAY_VERSION};
+pub use snapshot::{program_digest, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use straighten::{StraightenStats, StraightenedVm};
 pub use strands::{plan, Role, TranslationPlan};
 pub use superblock::{

@@ -76,6 +76,25 @@ impl Candidates {
         self.counters.remove(&vaddr);
     }
 
+    /// Iterates `(address, count)` over every counter, in unspecified
+    /// order (snapshot capture sorts).
+    pub fn counters(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.counters.iter().map(|(&a, &c)| (a, c))
+    }
+
+    /// Sets the counter for `vaddr` (snapshot restore); a count of 0
+    /// clears it. [`bump`](Candidates::bump) fires only when a counter
+    /// *reaches* the threshold exactly, so restore clamps counts to one
+    /// below it — a counter restored at or past the threshold would never
+    /// fire again.
+    pub fn set(&mut self, vaddr: u64, count: u32) {
+        if count == 0 {
+            self.counters.remove(&vaddr);
+        } else {
+            self.counters.insert(vaddr, count);
+        }
+    }
+
     /// Number of distinct candidate addresses seen.
     pub fn len(&self) -> usize {
         self.counters.len()
@@ -155,7 +174,15 @@ pub fn interp_step(
     if let Some(b) = outcome.output {
         output.push(b);
     }
-    *interpreted += 1;
+    // NOPs are excluded from the retire count in *every* mode — superblock
+    // collection drops them and translated code never emits them — so
+    // counting them here would make `Vm::v_instructions` depend on how
+    // much of the run happened to execute translated. Keeping the count
+    // NOP-free in the interpreter too makes it a pure function of the
+    // architected position, which snapshot/replay lockstep relies on.
+    if !inst.is_nop() {
+        *interpreted += 1;
+    }
     if let (Some(cache), Some(acc)) = (smc, outcome.mem) {
         // Stores never transfer control on Alpha, so reporting the SMC hit
         // instead of the (Sequential) control outcome loses nothing.

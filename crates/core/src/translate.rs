@@ -266,7 +266,19 @@ impl Emitter<'_> {
         match self.sb.end {
             SbEnd::Cycle { next } | SbEnd::MaxSize { next } => {
                 let vaddr = self.last_vaddr();
-                self.push_chain(IInst::CallTranslator { vtarget: next }, vaddr);
+                // Trailing straightened-away direct branches have no later
+                // retiring node to credit them; they retire unconditionally
+                // on the way to this exit, so the continuation carries the
+                // outstanding count.
+                let stranded = (self.sb.len() as u32).saturating_sub(self.credited) as u16;
+                self.stats.chain_insts += 1;
+                self.push(
+                    IInst::CallTranslator { vtarget: next },
+                    IMeta {
+                        vcount: stranded,
+                        ..IMeta::chain(vaddr)
+                    },
+                );
             }
             _ => {}
         }

@@ -11,11 +11,12 @@
 use crate::classify::CategoryCounts;
 use crate::cost::CostModel;
 use crate::engine::{Engine, EngineConfig, FragExit, TraceSink};
-use crate::error::VmError;
+use crate::error::{SnapshotError, VmError};
 use crate::fragment::{FragmentId, TranslationCache};
 use crate::profile::{
     collect_superblock_with_output, interp_step, Candidates, InterpEvent, ProfileConfig,
 };
+use crate::snapshot::{program_digest, Snapshot};
 use crate::translate::{ChainPolicy, Translator};
 use alpha_isa::{CpuState, DecodeCache, Memory, Program, Trap};
 use ildp_uarch::{DynInst, InstClass};
@@ -153,7 +154,7 @@ pub enum VmExit {
 
 /// Aggregate statistics of a VM run (feeding Table 2, Figure 7 and the
 /// §4.2 overhead numbers).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct VmStats {
     /// Instructions interpreted (cold code).
     pub interpreted: u64,
@@ -308,6 +309,13 @@ pub struct Vm<'p> {
     smc_counts: HashMap<u64, u32>,
     /// Console bytes in emission order (interpreted + translated).
     output: Vec<u8>,
+    /// Cache-derived stats carried over a snapshot restore:
+    /// `finish_overheads` recomputes `translated_code_bytes`, `evictions`
+    /// and `unlinked_sites` from the (fresh, empty) cache, so the totals
+    /// accumulated before the restore are added back as baselines.
+    base_code_bytes: u64,
+    base_evictions: u64,
+    base_unlinked: u64,
 }
 
 impl<'p> Vm<'p> {
@@ -335,7 +343,107 @@ impl<'p> Vm<'p> {
             demotion: HashMap::new(),
             smc_counts: HashMap::new(),
             output: Vec::new(),
+            base_code_bytes: 0,
+            base_evictions: 0,
+            base_unlinked: 0,
         }
+    }
+
+    /// Captures the complete resumable state as a [`Snapshot`].
+    ///
+    /// Must be taken at a fragment boundary — i.e. while [`run`](Vm::run)
+    /// is not executing (any return from `run` is one): there the GPR
+    /// file is architecturally complete, every accumulator is dead, and
+    /// the dual-RAS is predictor-only state (misses fall back to
+    /// dispatch), so none of the engine internals need capturing. The
+    /// translation cache is deliberately omitted — a restored VM starts
+    /// cold and retranslates on demand; the entry addresses of live
+    /// fragments are recorded as re-heat hints instead.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut pages: Vec<(u64, Vec<u8>)> = self
+            .mem
+            .pages()
+            .filter(|(_, bytes)| bytes.iter().any(|&b| b != 0))
+            .map(|(n, bytes)| (n, bytes.to_vec()))
+            .collect();
+        pages.sort_unstable_by_key(|&(n, _)| n);
+        let mut candidates: Vec<(u64, u32)> = self.candidates.counters().collect();
+        candidates.sort_unstable();
+        let mut translated: Vec<u64> = self.cache.fragments().map(|f| f.vstart).collect();
+        translated.sort_unstable();
+        let mut demotion: Vec<(u64, u8)> = self.demotion.iter().map(|(&a, &l)| (a, l)).collect();
+        demotion.sort_unstable();
+        let mut smc_counts: Vec<(u64, u32)> =
+            self.smc_counts.iter().map(|(&a, &c)| (a, c)).collect();
+        smc_counts.sort_unstable();
+        // The captured stats are brought current exactly as
+        // `finish_overheads` would, so a snapshot taken between `run`
+        // calls is self-consistent even if the caller poked at the cache.
+        let mut stats = self.stats.clone();
+        stats.interpretation_overhead = stats.interpreted * self.config.cost.interp_cost_per_inst();
+        stats.translated_code_bytes = self.base_code_bytes + self.cache.total_code_bytes();
+        stats.evictions = self.base_evictions + self.cache.evictions();
+        stats.unlinked_sites = self.base_unlinked + self.cache.unpatches();
+        stats.engine = self.engine.stats.clone();
+        Snapshot {
+            program_digest: program_digest(self.program),
+            v_insts: self.v_instructions(),
+            pc: self.cpu.pc,
+            regs: self.cpu.registers(),
+            pages,
+            output: self.output.clone(),
+            candidates,
+            translated,
+            demotion,
+            smc_counts,
+            stats,
+        }
+    }
+
+    /// Reconstructs a VM from a snapshot, onto a fresh (cold) translation
+    /// cache. The program must be the one the snapshot was taken from
+    /// (checked by digest). Continuing the restored VM retires the exact
+    /// same architected instruction stream as the uninterrupted run;
+    /// statistics continue cumulatively from the snapshot, so ratios like
+    /// [`VmStats::interp_fallback_ratio`] remain correct across the
+    /// resume.
+    pub fn restore(
+        config: VmConfig,
+        program: &'p Program,
+        snap: &Snapshot,
+    ) -> Result<Vm<'p>, SnapshotError> {
+        let expected = program_digest(program);
+        if snap.program_digest != expected {
+            return Err(SnapshotError::ProgramMismatch {
+                expected,
+                actual: snap.program_digest,
+            });
+        }
+        let mut vm = Vm::new(config, program);
+        vm.cpu = CpuState::with_registers(snap.pc, &snap.regs);
+        vm.mem = snap.to_memory();
+        // `bump` fires exactly once, when a counter *reaches* the
+        // threshold — so every restored counter is clamped one below it.
+        // Regions that were translated at snapshot time are primed to
+        // re-heat on their next execution; everything else keeps its
+        // progress (capped so over-threshold counters from translated or
+        // blacklisted regions can fire again rather than sticking).
+        let reheat = config.profile.threshold.saturating_sub(1);
+        for &(vaddr, count) in &snap.candidates {
+            vm.candidates.set(vaddr, count.min(reheat));
+        }
+        for &vstart in &snap.translated {
+            vm.candidates.set(vstart, reheat);
+        }
+        vm.demotion = snap.demotion.iter().copied().collect();
+        vm.smc_counts = snap.smc_counts.iter().copied().collect();
+        vm.output = snap.output.clone();
+        vm.stats = snap.stats.clone();
+        vm.engine.stats = snap.stats.engine.clone();
+        vm.base_code_bytes = snap.stats.translated_code_bytes;
+        vm.base_evictions = snap.stats.evictions;
+        vm.base_unlinked = snap.stats.unlinked_sites;
+        Ok(vm)
     }
 
     /// Accumulated statistics.
@@ -374,7 +482,10 @@ impl<'p> Vm<'p> {
     }
 
     /// Total V-ISA instructions executed so far (interpreted or
-    /// translated).
+    /// translated), excluding architectural NOPs — every execution mode
+    /// elides them from the count, so this is a pure function of the
+    /// architected position regardless of what was translated when.
+    /// Snapshot/replay lockstep is count-anchored on exactly this value.
     pub fn v_instructions(&self) -> u64 {
         self.stats.interpreted + self.engine.stats.v_insts
     }
@@ -695,9 +806,12 @@ impl<'p> Vm<'p> {
     fn finish_overheads(&mut self) {
         self.stats.interpretation_overhead =
             self.stats.interpreted * self.config.cost.interp_cost_per_inst();
-        self.stats.translated_code_bytes = self.cache.total_code_bytes();
-        self.stats.evictions = self.cache.evictions();
-        self.stats.unlinked_sites = self.cache.unpatches();
+        // The `base_*` offsets are nonzero only on a snapshot-restored
+        // VM, whose cache restarted from cold: they carry the totals
+        // accumulated before the restore.
+        self.stats.translated_code_bytes = self.base_code_bytes + self.cache.total_code_bytes();
+        self.stats.evictions = self.base_evictions + self.cache.evictions();
+        self.stats.unlinked_sites = self.base_unlinked + self.cache.unpatches();
         self.stats.engine = self.engine.stats.clone();
     }
 }
@@ -922,6 +1036,36 @@ mod tests {
         let (exit, n) = trace_original(&program, 1_000_000, &mut NullSink);
         assert_eq!(exit, VmExit::Halted);
         assert!(n > 800);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let program = loop_program(500);
+        // Uninterrupted run.
+        let mut vm1 = Vm::new(VmConfig::default(), &program);
+        assert_eq!(vm1.run(100_000, &mut NullSink), VmExit::Halted);
+        // Interrupted at a mid-run boundary, snapshotted, restored cold.
+        let mut vm2 = Vm::new(VmConfig::default(), &program);
+        let mid = vm1.v_instructions() / 2;
+        assert_eq!(vm2.run(mid, &mut NullSink), VmExit::Budget);
+        let snap = vm2.snapshot();
+        assert!(!snap.translated.is_empty(), "hot loop must be captured");
+        let mut vm3 = Vm::restore(VmConfig::default(), &program, &snap).unwrap();
+        assert_eq!(vm3.v_instructions(), snap.v_insts);
+        assert_eq!(vm3.run(100_000, &mut NullSink), VmExit::Halted);
+        assert_eq!(vm3.cpu().registers(), vm1.cpu().registers());
+        assert_eq!(vm3.memory().content_digest(), vm1.memory().content_digest());
+        assert_eq!(vm3.v_instructions(), vm1.v_instructions());
+        // Stats continue cumulatively: the resumed run retranslates the
+        // loop, so fragment counts only grow past the snapshot's.
+        assert!(vm3.stats().fragments > snap.stats.fragments);
+        assert!(vm3.stats().translated_code_bytes > snap.stats.translated_code_bytes);
+        // Restoring onto a different program is refused.
+        let other = loop_program(501);
+        assert!(matches!(
+            Vm::restore(VmConfig::default(), &other, &snap),
+            Err(SnapshotError::ProgramMismatch { .. })
+        ));
     }
 
     #[test]
