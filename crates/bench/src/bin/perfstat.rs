@@ -1,16 +1,29 @@
-//! Functional-engine throughput snapshot → `BENCH_engine.json`.
+//! Functional-engine throughput snapshot → `BENCH_engine.json`, and the
+//! multi-VM scaling harness → `BENCH_throughput.json`.
 //!
-//! Runs the whole workload suite under the functional engine (no timing
-//! model, `NullSink`) and emits a machine-readable JSON report — guest
-//! (V-ISA) instructions per second, dispatch counts, dual-RAS hit rate,
-//! and the install-time translation-validator overhead (fragments
-//! verified per second) — so successive PRs have a perf trajectory to
-//! compare against.
+//! Default mode runs the whole workload suite under the functional
+//! engine (no timing model, `NullSink`) and emits a machine-readable
+//! JSON report — guest (V-ISA) instructions per second, dispatch counts,
+//! dual-RAS hit rate, and the install-time translation-validator
+//! overhead (fragments verified per second) — so successive PRs have a
+//! perf trajectory to compare against.
 //!
-//! Usage: `cargo run --release -p ildp-bench --bin perfstat [-- <out.json>]`
-//! (`ILDP_SCALE` scales the workloads, default 30; `PERFSTAT_REPS`
-//! repetitions per workload, default 3.)
+//! `--throughput` instead runs the multi-VM harness
+//! ([`ildp_bench::throughput`]): N VMs per (workload × ISA form) cell on
+//! a sweep of OS thread counts with asynchronous translation, plus the
+//! shared warm-start store section. `--check` additionally enforces the
+//! warm-start gate (nonzero reuse ≥ 90%, zero retranslations, zero
+//! reverifications) and exits non-zero on violation.
+//!
+//! Both JSON schemas are documented in `crates/bench/src/report.rs`.
+//!
+//! Usage: `cargo run --release -p ildp-bench --bin perfstat -- \
+//! [--throughput [--check]] [<out.json>]`
+//! (`ILDP_SCALE` scales the workloads, default 30 — or 5 for
+//! `--throughput`; `PERFSTAT_REPS` repetitions per workload, default 3;
+//! `ILDP_VMS` VM instances per throughput cell, default 8.)
 
+use ildp_bench::throughput::{run_throughput, ThroughputOptions};
 use ildp_core::{ChainPolicy, NullSink, Translator, Vm, VmConfig, VmExit};
 use ildp_verifier::{collecting_validator, take_report};
 use spec_workloads::suite;
@@ -33,6 +46,7 @@ struct Row {
     evictions: u64,
     smc_invalidations: u64,
     demotions: u64,
+    warmup_interpreted: u64,
 }
 
 fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
@@ -42,6 +56,10 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
             ..Translator::default()
         },
         validator: Some(collecting_validator),
+        // The collecting validator files violations thread-locally, and
+        // the single-VM trajectory numbers should isolate engine speed
+        // from pipeline timing; `--throughput` measures async mode.
+        async_translate: false,
         ..VmConfig::default()
     };
     let mut row = Row {
@@ -60,6 +78,7 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
         evictions: 0,
         smc_invalidations: 0,
         demotions: 0,
+        warmup_interpreted: 0,
     };
     for _ in 0..reps {
         let mut vm = Vm::new(config, &w.program);
@@ -89,6 +108,7 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
         row.evictions += s.evictions;
         row.smc_invalidations += s.smc_invalidations;
         row.demotions += s.demotions;
+        row.warmup_interpreted += s.warmup_interpreted;
         let violations = take_report();
         assert!(
             violations.is_empty(),
@@ -100,10 +120,136 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
     row
 }
 
+/// Runs the multi-VM harness and writes `BENCH_throughput.json` (schema
+/// in `report.rs`). With `check`, enforces the warm-start gate.
+fn throughput_main(out_path: &str, check: bool) {
+    let opts = ThroughputOptions {
+        scale: std::env::var("ILDP_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5),
+        vms: std::env::var("ILDP_VMS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(8),
+        ..ThroughputOptions::default()
+    };
+    let report = run_throughput(&opts);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"multi_vm_throughput\",");
+    let _ = writeln!(json, "  \"scale\": {},", report.scale);
+    let _ = writeln!(json, "  \"vms_per_cell\": {},", report.vms);
+    let _ = writeln!(json, "  \"pool_workers\": {},", report.pool_workers);
+    let _ = writeln!(
+        json,
+        "  \"throughput_metric\": \"guest_insts / max per-thread cpu seconds (cpu critical path)\","
+    );
+    let _ = writeln!(json, "  \"scaling_ratio\": {:.3},", report.scaling_ratio());
+    let _ = writeln!(json, "  \"scaling\": [");
+    for (k, r) in report.scaling.iter().enumerate() {
+        let comma = if k + 1 < report.scaling.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"runs\": {}, \"guest_insts\": {}, \
+             \"guest_insts_per_sec\": {:.0}, \"cpu_critical_path_seconds\": {:.4}, \
+             \"cpu_total_seconds\": {:.4}, \"wall_seconds\": {:.4}, \
+             \"translate_stall_seconds\": {:.6}, \"translate_wall_seconds\": {:.6}, \
+             \"async_installs\": {}, \"async_dropped\": {}}}{comma}",
+            r.threads,
+            r.runs,
+            r.total_guest_insts,
+            r.guest_insts_per_sec,
+            r.cpu_critical_path_seconds,
+            r.cpu_total_seconds,
+            r.wall_seconds,
+            r.translate_stall_seconds,
+            r.translate_wall_seconds,
+            r.async_installs,
+            r.async_dropped,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let w = &report.warm;
+    let _ = writeln!(json, "  \"warm_start\": {{");
+    let _ = writeln!(json, "    \"cold_runs\": {},", w.cold_runs);
+    let _ = writeln!(json, "    \"cold_fragments\": {},", w.cold_fragments);
+    let _ = writeln!(json, "    \"warm_runs\": {},", w.warm_runs);
+    let _ = writeln!(json, "    \"warm_hits\": {},", w.warm_hits);
+    let _ = writeln!(json, "    \"warm_misses\": {},", w.warm_misses);
+    let _ = writeln!(json, "    \"reuse_rate\": {:.4},", w.reuse_rate());
+    let _ = writeln!(json, "    \"retranslations\": {},", w.retranslations());
+    let _ = writeln!(json, "    \"reverifications\": {}", w.reverifications);
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(out_path, &json).expect("write report");
+    println!("{json}");
+    println!(
+        "wrote {out_path}: scaling {:.2}x across {:?} threads, warm reuse {:.1}%",
+        report.scaling_ratio(),
+        report.scaling.iter().map(|r| r.threads).collect::<Vec<_>>(),
+        w.reuse_rate() * 100.0
+    );
+
+    if check {
+        let mut bad = Vec::new();
+        if w.warm_hits == 0 {
+            bad.push("warm-start hit rate is 0 for a repeated-program run".to_string());
+        }
+        if w.reuse_rate() < 0.9 {
+            bad.push(format!("warm reuse rate {:.4} < 0.9", w.reuse_rate()));
+        }
+        if w.retranslations() > 0 {
+            bad.push(format!(
+                "{} warm retranslations (want 0)",
+                w.retranslations()
+            ));
+        }
+        if w.reverifications > 0 {
+            bad.push(format!(
+                "{} warm reverifications (want 0)",
+                w.reverifications
+            ));
+        }
+        if !bad.is_empty() {
+            for b in &bad {
+                println!("perfstat --check: FAIL: {b}");
+            }
+            std::process::exit(1);
+        }
+        println!("perfstat --check: warm-start gate passed");
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut throughput = false;
+    let mut check = false;
+    let mut out: Option<String> = None;
+    for a in &args {
+        match a.as_str() {
+            "--throughput" => throughput = true,
+            "--check" => check = true,
+            other if !other.starts_with('-') => out = Some(other.to_string()),
+            other => {
+                eprintln!("perfstat: unknown argument {other:?}");
+                eprintln!("usage: perfstat [--throughput [--check]] [out.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if throughput {
+        let out_path = out.unwrap_or_else(|| "BENCH_throughput.json".to_string());
+        throughput_main(&out_path, check);
+        return;
+    }
+    let out_path = out.unwrap_or_else(|| "BENCH_engine.json".to_string());
     let scale: u32 = std::env::var("ILDP_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -128,7 +274,13 @@ fn main() {
     let total_evictions: u64 = rows.iter().map(|r| r.evictions).sum();
     let total_smc: u64 = rows.iter().map(|r| r.smc_invalidations).sum();
     let total_demotions: u64 = rows.iter().map(|r| r.demotions).sum();
-    let interp_fallback = total_interp as f64 / (total_interp + total_v).max(1) as f64;
+    // Steady-state fallback: exclude the warmup phase (everything
+    // interpreted before the first install), matching
+    // `VmStats::interp_fallback_ratio` — short workloads otherwise
+    // report an inflated ratio dominated by profiling warmup.
+    let total_warmup: u64 = rows.iter().map(|r| r.warmup_interpreted).sum();
+    let steady = total_interp.saturating_sub(total_warmup);
+    let interp_fallback = steady as f64 / (steady + total_v).max(1) as f64;
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -150,6 +302,7 @@ fn main() {
     let _ = writeln!(json, "  \"workloads\": [");
     for (k, r) in rows.iter().enumerate() {
         let ips = r.v_insts as f64 / r.wall_s.max(1e-9);
+        let row_steady = r.interpreted.saturating_sub(r.warmup_interpreted);
         let comma = if k + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
@@ -175,7 +328,7 @@ fn main() {
             r.evictions,
             r.smc_invalidations,
             r.demotions,
-            r.interpreted as f64 / (r.interpreted + r.v_insts).max(1) as f64,
+            row_steady as f64 / (row_steady + r.v_insts).max(1) as f64,
             r.wall_s,
         );
     }

@@ -9,8 +9,15 @@
 //!    retired count) of an uninterrupted run, with statistics continuing
 //!    cumulatively across the seam.
 //! 2. **record→replay equality** — one recorded chaos cell per workload
-//!    must replay from its envelope to the identical tally.
-//! 3. **triage bundle roundtrip** — a seeded miscompile must triage to a
+//!    (plus one delayed-install cell) must replay from its envelope to
+//!    the identical tally.
+//! 3. **async record→scheduled replay** — every workload × both ISA
+//!    forms runs with the background translation pipeline enabled; its
+//!    recorded install/drop events drive a synchronous VM through
+//!    [`Vm::set_install_schedule`], which must reach the bit-identical
+//!    architected state, event log, and statistics (wall-clock nanos
+//!    excepted).
+//! 4. **triage bundle roundtrip** — a seeded miscompile must triage to a
 //!    `.repro` bundle that survives its wire format and replays to the
 //!    identical divergence.
 //!
@@ -109,15 +116,85 @@ fn snapshot_roundtrip(w: &Workload, form: IsaForm) -> Result<(), String> {
 }
 
 /// One recorded chaos cell must replay to the identical tally.
-fn record_replay(w: &Workload, seed: u64) -> Result<(), String> {
+fn record_replay(w: &Workload, seed: u64, delay: Option<u64>) -> Result<(), String> {
     let (form, chain) = (IsaForm::Modified, ChainPolicy::SwPredDualRas);
     let cell = format!("{}:{}:{}:{}", w.name, form_name(form), chain.label(), seed);
-    let (res, log) = chaos_cell_recorded(w, form, chain, seed);
+    let (res, log) = chaos_cell_recorded(w, form, chain, seed, delay);
     let report = res.map_err(|e| format!("{cell}: recorded run failed: {e}"))?;
-    let replayed = chaos_replay(w, form, chain, &log)
+    let replayed = chaos_replay(w, form, chain, &log, delay)
         .map_err(|e| format!("{cell}: replay failed where recording passed: {e}"))?;
     if replayed != report {
         return Err(format!("{cell}: replayed tally differs from recorded run"));
+    }
+    Ok(())
+}
+
+/// A run recorded with the background pipeline enabled must replay
+/// bit-identically on a synchronous VM driven by the recorded install
+/// schedule — the triage path for truly asynchronous runs.
+fn async_schedule_replay(w: &Workload, form: IsaForm) -> Result<(), String> {
+    let cell = format!("{}:{}:async", w.name, form_name(form));
+    let config = VmConfig {
+        translator: ildp_core::Translator {
+            form,
+            ..ildp_core::Translator::default()
+        },
+        ..VmConfig::default()
+    };
+    let budget = w.budget * 2;
+    let mut recorded = Vm::new(config, &w.program);
+    let exit = recorded.run(budget, &mut NullSink);
+    if exit != VmExit::Halted {
+        return Err(format!("{cell}: recorded run exited {exit:?}"));
+    }
+    let events = recorded.take_bg_events();
+
+    let mut replayed = Vm::new(
+        VmConfig {
+            async_translate: false,
+            ..config
+        },
+        &w.program,
+    );
+    replayed.set_install_schedule(&events);
+    let exit = replayed.run(budget, &mut NullSink);
+    if exit != VmExit::Halted {
+        return Err(format!("{cell}: scheduled replay exited {exit:?}"));
+    }
+    if replayed.cpu().registers() != recorded.cpu().registers() {
+        return Err(format!("{cell}: replayed GPR file diverged"));
+    }
+    if replayed.memory().content_digest() != recorded.memory().content_digest() {
+        return Err(format!("{cell}: replayed memory diverged"));
+    }
+    if replayed.output() != recorded.output() {
+        return Err(format!("{cell}: replayed console output diverged"));
+    }
+    if replayed.v_instructions() != recorded.v_instructions() {
+        return Err(format!(
+            "{cell}: replayed retired {} instructions, recorded {}",
+            replayed.v_instructions(),
+            recorded.v_instructions()
+        ));
+    }
+    if replayed.bg_events() != events.as_slice() {
+        return Err(format!(
+            "{cell}: replayed install/drop event log differs from the recording"
+        ));
+    }
+    // Statistics must match bit-for-bit once wall-clock timing (the one
+    // nondeterministic quantity) is masked out.
+    let mut want = recorded.stats().clone();
+    let mut got = replayed.stats().clone();
+    for s in [&mut want, &mut got] {
+        s.verify_nanos = 0;
+        s.translate_stall_nanos = 0;
+        s.translate_wall_nanos = 0;
+    }
+    if got != want {
+        return Err(format!(
+            "{cell}: replayed statistics differ from the recording"
+        ));
     }
     Ok(())
 }
@@ -192,11 +269,33 @@ fn main() {
             }
         }
         checks += 1;
-        match record_replay(w, 4242) {
+        match record_replay(w, 4242, None) {
             Ok(()) => println!("{:<10} record/replay ok", w.name),
             Err(e) => {
                 println!("FAIL {e}");
                 failures.push(e);
+            }
+        }
+        checks += 1;
+        match record_replay(w, 4242, Some(96)) {
+            Ok(()) => println!("{:<10} record/replay (delayed install) ok", w.name),
+            Err(e) => {
+                println!("FAIL {e}");
+                failures.push(e);
+            }
+        }
+        for form in [IsaForm::Basic, IsaForm::Modified] {
+            checks += 1;
+            match async_schedule_replay(w, form) {
+                Ok(()) => println!(
+                    "{:<10} {:>8} async record/scheduled replay ok",
+                    w.name,
+                    form_name(form)
+                ),
+                Err(e) => {
+                    println!("FAIL {e}");
+                    failures.push(e);
+                }
             }
         }
     }

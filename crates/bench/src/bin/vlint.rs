@@ -67,6 +67,9 @@ fn run_cell(cell: &Cell<'_>) -> (u64, Vec<Violation>) {
             fuse_memory: false,
         },
         validator: Some(ildp_verifier::collecting_validator),
+        // The collecting validator files violations in a thread-local
+        // report; translation must stay on this thread to read it back.
+        async_translate: false,
         ..VmConfig::default()
     };
     let mut vm = Vm::new(config, &cell.workload.program);

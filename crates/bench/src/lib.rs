@@ -11,6 +11,7 @@
 pub mod chaos;
 pub mod report;
 pub mod runners;
+pub mod throughput;
 pub mod triage;
 
 pub use report::*;

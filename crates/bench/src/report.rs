@@ -1,4 +1,63 @@
-//! Plain-text report formatting for the experiment binaries.
+//! Plain-text report formatting for the experiment binaries, and the
+//! schema reference for the JSON artifacts `perfstat` emits.
+//!
+//! # `BENCH_engine.json` (perfstat default mode)
+//!
+//! Single-VM functional-engine trajectory, synchronous translation:
+//!
+//! ```json
+//! {
+//!   "bench": "engine_functional",     // artifact discriminator
+//!   "mode": "null_sink",              // no timing model attached
+//!   "scale": 30, "reps": 3,           // ILDP_SCALE / PERFSTAT_REPS
+//!   "guest_insts_per_sec": 0,         // total_guest_insts / total wall
+//!   "total_guest_insts": 0, "total_wall_seconds": 0.0,
+//!   "ras_hit_rate": 0.0,              // dual-RAS hits / (hits+misses)
+//!   "fragments_verified": 0, "verify_wall_seconds": 0.0,
+//!   "fragments_verified_per_s": 0,
+//!   "evictions": 0, "smc_invalidations": 0, "demotions": 0,
+//!   "interp_fallback_ratio": 0.0,     // steady-state, warmup excluded
+//!   "workloads": [ { "name": "...", /* same fields per workload */ } ]
+//! }
+//! ```
+//!
+//! # `BENCH_throughput.json` (`perfstat --throughput`)
+//!
+//! Multi-VM scaling sweep (asynchronous translation, shared pool) plus
+//! the warm-start store section:
+//!
+//! ```json
+//! {
+//!   "bench": "multi_vm_throughput",
+//!   "scale": 5,                       // ILDP_SCALE (default 5 here)
+//!   "vms_per_cell": 8,                // ILDP_VMS
+//!   "pool_workers": 1,                // shared TranslatePool width
+//!   "throughput_metric": "...",       // how guest_insts_per_sec divides
+//!   "scaling_ratio": 0.0,             // ips(max threads) / ips(1 thread)
+//!   "scaling": [
+//!     { "threads": 1, "runs": 0, "guest_insts": 0,
+//!       "guest_insts_per_sec": 0,     // insts / cpu critical path
+//!       "cpu_critical_path_seconds": 0.0,  // max per-thread CPU
+//!       "cpu_total_seconds": 0.0, "wall_seconds": 0.0,
+//!       "translate_stall_seconds": 0.0,    // guest-visible stall
+//!       "translate_wall_seconds": 0.0,     // worker-side translate time
+//!       "async_installs": 0, "async_dropped": 0 }
+//!   ],
+//!   "warm_start": {
+//!     "cold_runs": 0, "cold_fragments": 0,  // published artifacts
+//!     "warm_runs": 0, "warm_hits": 0, "warm_misses": 0,
+//!     "reuse_rate": 0.0,              // hits / (hits+misses), gate ≥0.9
+//!     "retranslations": 0,            // warm translations ran (gate 0)
+//!     "reverifications": 0            // warm verifier calls (gate 0)
+//!   }
+//! }
+//! ```
+//!
+//! The scaling section divides by the **CPU critical path** (largest
+//! per-thread CPU time) rather than wall clock, so the sweep measures
+//! parallel decomposition even when the host has fewer physical cores
+//! than harness threads; `wall_seconds` is reported unmassaged next to
+//! it.
 
 /// Escapes a string for embedding in a JSON string literal (the lint
 /// binaries emit structured failure reports without a JSON dependency).

@@ -185,7 +185,7 @@ pub fn paced_run_events(budget: u64, pace: u64) -> Vec<ReplayEvent> {
     let mut events: Vec<ReplayEvent> = (1..=budget / pace)
         .map(|k| ReplayEvent::Run { budget: k * pace })
         .collect();
-    if budget % pace != 0 || events.is_empty() {
+    if !budget.is_multiple_of(pace) || events.is_empty() {
         events.push(ReplayEvent::Run { budget });
     }
     events
@@ -206,8 +206,21 @@ pub struct LogDriver<'a, 'p> {
 }
 
 impl<'a, 'p> LogDriver<'a, 'p> {
-    /// Wraps a VM (fresh or restored) for log-driven execution.
-    pub fn new(vm: Vm<'p>, log: &'a ReplayLog) -> LogDriver<'a, 'p> {
+    /// Wraps a VM (fresh or restored) for log-driven execution. When the
+    /// envelope carries background-install events (it was recorded from
+    /// an asynchronous or delayed-install run), the VM is switched to the
+    /// recorded install schedule so translations land at the logged
+    /// count anchors regardless of this build's translation mode.
+    pub fn new(mut vm: Vm<'p>, log: &'a ReplayLog) -> LogDriver<'a, 'p> {
+        let has_bg = log.events.iter().any(|ev| {
+            matches!(
+                ev,
+                ReplayEvent::BgInstall { .. } | ReplayEvent::BgDrop { .. }
+            )
+        });
+        if has_bg {
+            vm.set_install_schedule(&log.events);
+        }
         let mut d = LogDriver {
             vm,
             log,
@@ -601,10 +614,12 @@ pub fn triage_run(
         }
     }
     let mut entry = cps[good].clone();
-    // The one wall-clock diagnostic in VmStats is not part of the
-    // deterministic envelope; zero it so identical failures produce
+    // The wall-clock diagnostics in VmStats are not part of the
+    // deterministic envelope; zero them so identical failures produce
     // byte-identical bundles.
     entry.stats.verify_nanos = 0;
+    entry.stats.translate_stall_nanos = 0;
+    entry.stats.translate_wall_nanos = 0;
     let entry = &entry;
     // Phase C: lockstep localization from the last good checkpoint. The
     // trimmed log keeps the standing sabotage rules and every event not

@@ -1,0 +1,110 @@
+//! Determinism gate for the background translation pipeline: for every
+//! workload × ISA form, a VM running with asynchronous translation (the
+//! default) must reach the exact same final architected state — all 32
+//! GPRs, memory contents, console output, and retired V-instruction
+//! count — as a VM translating synchronously, and as the shared-cache
+//! warm-start path. Install *timing* is the only thing the pipeline is
+//! allowed to change.
+
+use ildp_core::{ChainPolicy, FragmentStore, NullSink, Translator, Vm, VmConfig, VmExit};
+use ildp_isa::IsaForm;
+use spec_workloads::suite;
+use std::sync::Arc;
+
+fn config(form: IsaForm, async_translate: bool) -> VmConfig {
+    VmConfig {
+        translator: Translator {
+            form,
+            chain: ChainPolicy::SwPredDualRas,
+            acc_count: 4,
+            fuse_memory: false,
+        },
+        async_translate,
+        ..VmConfig::default()
+    }
+}
+
+#[test]
+fn async_pipeline_is_architecturally_invisible() {
+    for w in suite(1) {
+        for form in [IsaForm::Basic, IsaForm::Modified] {
+            let what = format!("{} ({form:?})", w.name);
+            let budget = w.budget * 2;
+
+            let mut sync_vm = Vm::new(config(form, false), &w.program);
+            let sync_exit = sync_vm.run(budget, &mut NullSink);
+            assert_eq!(sync_exit, VmExit::Halted, "{what}: sync run");
+
+            let mut async_vm = Vm::new(config(form, true), &w.program);
+            let async_exit = async_vm.run(budget, &mut NullSink);
+            assert_eq!(async_exit, sync_exit, "{what}: exit diverged");
+            assert_eq!(
+                async_vm.cpu().registers(),
+                sync_vm.cpu().registers(),
+                "{what}: GPRs diverged"
+            );
+            assert_eq!(
+                async_vm.memory().content_digest(),
+                sync_vm.memory().content_digest(),
+                "{what}: memory diverged"
+            );
+            assert_eq!(
+                async_vm.output(),
+                sync_vm.output(),
+                "{what}: console output diverged"
+            );
+            assert_eq!(
+                async_vm.v_instructions(),
+                sync_vm.v_instructions(),
+                "{what}: retired count diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_start_is_architecturally_invisible() {
+    for w in suite(1) {
+        let form = IsaForm::Modified;
+        let what = format!("{} warm start", w.name);
+        let budget = w.budget * 2;
+
+        let mut reference = Vm::new(config(form, false), &w.program);
+        assert_eq!(reference.run(budget, &mut NullSink), VmExit::Halted);
+
+        let store = Arc::new(FragmentStore::new());
+        let mut cold = Vm::new(config(form, false), &w.program);
+        cold.attach_store(Arc::clone(&store));
+        assert_eq!(cold.run(budget, &mut NullSink), VmExit::Halted);
+
+        let mut warm = Vm::new(config(form, false), &w.program);
+        warm.attach_store(Arc::clone(&store));
+        assert_eq!(warm.run(budget, &mut NullSink), VmExit::Halted);
+        assert!(
+            warm.stats().warm_hits > 0 || cold.stats().warm_stores == 0,
+            "{what}: store populated but never hit"
+        );
+        for (vm, label) in [(&cold, "cold"), (&warm, "warm")] {
+            assert_eq!(
+                vm.cpu().registers(),
+                reference.cpu().registers(),
+                "{what}: {label} GPRs diverged"
+            );
+            assert_eq!(
+                vm.memory().content_digest(),
+                reference.memory().content_digest(),
+                "{what}: {label} memory diverged"
+            );
+            assert_eq!(
+                vm.output(),
+                reference.output(),
+                "{what}: {label} output diverged"
+            );
+            assert_eq!(
+                vm.v_instructions(),
+                reference.v_instructions(),
+                "{what}: {label} retired count diverged"
+            );
+        }
+    }
+}

@@ -12,20 +12,35 @@ use spec_workloads::by_name;
 
 #[test]
 fn chaos_replay_reproduces_recorded_report() {
-    for (name, form, chain, seed) in [
-        ("gzip", IsaForm::Modified, ChainPolicy::SwPredDualRas, 7001),
-        ("gcc", IsaForm::Basic, ChainPolicy::SwPred, 42),
-        ("mcf", IsaForm::Modified, ChainPolicy::NoPred, 9_000),
+    for (name, form, chain, seed, delay) in [
+        (
+            "gzip",
+            IsaForm::Modified,
+            ChainPolicy::SwPredDualRas,
+            7001,
+            None,
+        ),
+        ("gcc", IsaForm::Basic, ChainPolicy::SwPred, 42, None),
+        ("mcf", IsaForm::Modified, ChainPolicy::NoPred, 9_000, None),
+        // Delayed-install cell: translations park before their safe-point
+        // install, and the injection mix adds staged-translation drops.
+        (
+            "gzip",
+            IsaForm::Modified,
+            ChainPolicy::SwPredDualRas,
+            7001,
+            Some(64),
+        ),
     ] {
         let w = by_name(name, 1).unwrap();
-        let (res, log) = chaos_cell_recorded(&w, form, chain, seed);
+        let (res, log) = chaos_cell_recorded(&w, form, chain, seed, delay);
         let report = res.expect("recorded cell should pass");
         assert!(report.injections > 0, "{name}: cell injected nothing");
-        let replayed = chaos_replay(&w, form, chain, &log).expect("replay should pass");
+        let replayed = chaos_replay(&w, form, chain, &log, delay).expect("replay should pass");
         assert_eq!(replayed, report, "{name}: replay tally diverged");
         // And again through the wire format: artifact in, same tally out.
         let log2 = ReplayLog::from_bytes(&log.to_bytes()).unwrap();
-        let replayed2 = chaos_replay(&w, form, chain, &log2).unwrap();
+        let replayed2 = chaos_replay(&w, form, chain, &log2, delay).unwrap();
         assert_eq!(replayed2, report, "{name}: wire-roundtrip replay diverged");
     }
 }
@@ -120,9 +135,17 @@ fn cell_spec_roundtrips() {
         form: IsaForm::Modified,
         chain: ChainPolicy::SwPredDualRas,
         seed: 7001,
+        delay: None,
     };
     assert_eq!(spec.to_string(), "gzip:modified:sw_pred.ras:7001");
     assert_eq!(CellSpec::parse(&spec.to_string()).unwrap(), spec);
+    let delayed = CellSpec {
+        delay: Some(64),
+        ..spec.clone()
+    };
+    assert_eq!(delayed.to_string(), "gzip:modified:sw_pred.ras:7001:d64");
+    assert_eq!(CellSpec::parse(&delayed.to_string()).unwrap(), delayed);
     assert!(CellSpec::parse("nope:modified:sw_pred.ras:1").is_err());
     assert!(CellSpec::parse("gzip:modified:sw_pred.ras").is_err());
+    assert!(CellSpec::parse("gzip:modified:sw_pred.ras:1:x64").is_err());
 }

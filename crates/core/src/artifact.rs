@@ -1,0 +1,1112 @@
+//! The shared warm-start translation cache (fragment artifact store).
+//!
+//! At fleet scale the translation tax is paid once per VM instance even
+//! when thousands of instances run identical code. This module makes a
+//! translated-and-verified fragment a *portable artifact*: keyed by the
+//! digest of the exact guest bytes and collected path it was formed from
+//! plus the digest of the [`Translator`] configuration that produced it,
+//! serialized through the PR 4 [`wire`](crate::wire) layer, and held in
+//! an in-process `Arc`-shared [`FragmentStore`] (optionally persisted to
+//! disk). A second VM that heats the same region looks the key up and
+//! installs the pre-verified fragment without re-translating or
+//! re-verifying.
+//!
+//! Coherence: a shared entry is only ever *used* after the consuming VM
+//! re-collects the region and recomputes the key from its **own** guest
+//! memory — self-modified code or a different dynamic path produces a
+//! different digest and simply misses. On top of that, SMC invalidation
+//! and degradation-ladder demotion remove the victim's key from the
+//! store ([`FragmentStore::remove`]), so a fragment known-bad on one VM
+//! stops being served to new ones.
+
+use crate::classify::CategoryCounts;
+use crate::classify::UsageCat;
+use crate::error::SnapshotError;
+use crate::fragment::{IMeta, RecoveryEntry};
+use crate::superblock::{CollectedFlow, SbEnd, Superblock};
+use crate::translate::{ChainPolicy, TranslatedCode, Translator};
+use crate::wire::{self, Cursor};
+use alpha_isa::{JumpKind, OperateOp, Program, Reg};
+use ildp_isa::{ASrc, Acc, CondKind, IInst, ITarget, IsaForm, MemWidth};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Magic number of a serialized fragment artifact (`"ILPF"`).
+pub const ARTIFACT_MAGIC: u32 = 0x4650_4C49;
+
+/// Current fragment-artifact format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Magic number of a serialized fragment store (`"ILPW"`).
+pub const STORE_MAGIC: u32 = 0x5750_4C49;
+
+/// Current fragment-store format version.
+pub const STORE_VERSION: u32 = 1;
+
+/// Identity of a reusable translation: what was translated (the guest
+/// bytes and dynamic path of the collected superblock) and how (the
+/// translator configuration). Two VMs computing equal keys would produce
+/// byte-identical translations, so the artifact of one is valid for the
+/// other.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ArtifactKey {
+    /// FNV-1a digest of the collected superblock: entry address, each
+    /// instruction's V-address and raw code word, its collected control
+    /// flow, and the ending condition.
+    pub code_digest: u64,
+    /// FNV-1a digest of the [`Translator`] configuration (ISA form,
+    /// chaining policy, accumulator count, memory fusion).
+    pub config_digest: u64,
+}
+
+/// Digest of a collected superblock's guest-code span and dynamic path.
+///
+/// The raw code words are read back from `program` (collection already
+/// fetched them, so they are in range for any collectable block); the
+/// collected flow is folded in because the same static code region can
+/// be collected along different dynamic paths, which translate
+/// differently.
+pub fn superblock_digest(program: &Program, sb: &Superblock) -> u64 {
+    let mut buf = Vec::with_capacity(16 + sb.len() * 24);
+    wire::put_u64(&mut buf, sb.start);
+    let code = program.code();
+    let base = program.code_base();
+    for inst in &sb.insts {
+        wire::put_u64(&mut buf, inst.vaddr);
+        let idx = inst.vaddr.wrapping_sub(base) / 4;
+        let raw = code.get(idx as usize).copied().unwrap_or(0);
+        wire::put_u32(&mut buf, raw);
+        match inst.flow {
+            CollectedFlow::Sequential => wire::put_u8(&mut buf, 0),
+            CollectedFlow::CondNotTaken { taken_target } => {
+                wire::put_u8(&mut buf, 1);
+                wire::put_u64(&mut buf, taken_target);
+            }
+            CollectedFlow::CondTaken {
+                taken_target,
+                fallthrough,
+            } => {
+                wire::put_u8(&mut buf, 2);
+                wire::put_u64(&mut buf, taken_target);
+                wire::put_u64(&mut buf, fallthrough);
+            }
+            CollectedFlow::Direct { target, links } => {
+                wire::put_u8(&mut buf, 3);
+                wire::put_u64(&mut buf, target);
+                wire::put_u8(&mut buf, links as u8);
+            }
+            CollectedFlow::Indirect { kind, target } => {
+                wire::put_u8(&mut buf, 4);
+                wire::put_u8(&mut buf, kind.code() as u8);
+                wire::put_u64(&mut buf, target);
+            }
+        }
+    }
+    match sb.end {
+        SbEnd::IndirectJump => wire::put_u8(&mut buf, 0),
+        SbEnd::BackwardTakenBranch {
+            target,
+            fallthrough,
+        } => {
+            wire::put_u8(&mut buf, 1);
+            wire::put_u64(&mut buf, target);
+            wire::put_u64(&mut buf, fallthrough);
+        }
+        SbEnd::Cycle { next } => {
+            wire::put_u8(&mut buf, 2);
+            wire::put_u64(&mut buf, next);
+        }
+        SbEnd::MaxSize { next } => {
+            wire::put_u8(&mut buf, 3);
+            wire::put_u64(&mut buf, next);
+        }
+        SbEnd::Halt => wire::put_u8(&mut buf, 4),
+    }
+    wire::fnv1a(&buf)
+}
+
+/// Digest of a translator configuration.
+pub fn translator_digest(t: &Translator) -> u64 {
+    let chain = match t.chain {
+        ChainPolicy::NoPred => 0u8,
+        ChainPolicy::SwPred => 1,
+        ChainPolicy::SwPredDualRas => 2,
+    };
+    let buf = [
+        match t.form {
+            IsaForm::Basic => 0u8,
+            IsaForm::Modified => 1,
+        },
+        chain,
+        t.acc_count as u8,
+        t.fuse_memory as u8,
+    ];
+    wire::fnv1a(&buf)
+}
+
+/// The store key for translating `sb` under `translator` within
+/// `program`.
+pub fn artifact_key(program: &Program, sb: &Superblock, translator: &Translator) -> ArtifactKey {
+    ArtifactKey {
+        code_digest: superblock_digest(program, sb),
+        config_digest: translator_digest(translator),
+    }
+}
+
+/// A translated-and-verified fragment in portable form: everything
+/// [`TranslationCache::install`](crate::TranslationCache::install) needs,
+/// plus the static translation statistics the installing VM merges into
+/// its own [`VmStats`](crate::VmStats). The analysis trace is
+/// deliberately absent — artifacts are installed pre-verified, never
+/// re-verified.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FragmentArtifact {
+    /// Entry V-address.
+    pub vstart: u64,
+    /// The I-ISA form the fragment was emitted for.
+    pub form: IsaForm,
+    /// Source superblock length in V-ISA instructions.
+    pub src_inst_count: u32,
+    /// The emitted instructions.
+    pub insts: Vec<IInst>,
+    /// Parallel metadata.
+    pub meta: Vec<IMeta>,
+    /// Precise-trap recovery tables (basic form).
+    pub recovery: HashMap<u32, Vec<RecoveryEntry>>,
+    /// Copy instructions emitted.
+    pub copies: u32,
+    /// Strands formed.
+    pub strands: u32,
+    /// Strands prematurely terminated.
+    pub terminations: u32,
+    /// Static category counts of produced values.
+    pub categories: CategoryCounts,
+    /// Static category counts under oracle boundaries.
+    pub oracle_categories: CategoryCounts,
+}
+
+impl FragmentArtifact {
+    /// Packages a fresh translation for the store.
+    pub fn from_translation(code: &TranslatedCode, form: IsaForm) -> FragmentArtifact {
+        FragmentArtifact {
+            vstart: code.vstart,
+            form,
+            src_inst_count: code.src_inst_count,
+            insts: code.insts.clone(),
+            meta: code.meta.clone(),
+            recovery: code.recovery.clone(),
+            copies: code.stats.copies,
+            strands: code.stats.strands,
+            terminations: code.stats.terminations,
+            categories: code.stats.categories,
+            oracle_categories: code.stats.oracle_categories,
+        }
+    }
+
+    /// Serializes into the enveloped wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        wire::put_u64(&mut p, self.vstart);
+        wire::put_u8(&mut p, matches!(self.form, IsaForm::Modified) as u8);
+        wire::put_u32(&mut p, self.src_inst_count);
+        wire::put_u32(&mut p, self.insts.len() as u32);
+        for inst in &self.insts {
+            put_iinst(&mut p, inst);
+        }
+        wire::put_u32(&mut p, self.meta.len() as u32);
+        for m in &self.meta {
+            wire::put_u64(&mut p, m.vaddr);
+            wire::put_u16(&mut p, m.vcount);
+            match m.category {
+                Some(cat) => wire::put_u8(&mut p, 1 + cat as u8),
+                None => wire::put_u8(&mut p, 0),
+            }
+            wire::put_u8(&mut p, m.is_chain as u8);
+        }
+        let mut slots: Vec<u32> = self.recovery.keys().copied().collect();
+        slots.sort_unstable();
+        wire::put_u32(&mut p, slots.len() as u32);
+        for slot in slots {
+            wire::put_u32(&mut p, slot);
+            let entries = &self.recovery[&slot];
+            wire::put_u32(&mut p, entries.len() as u32);
+            for e in entries {
+                wire::put_u8(&mut p, e.reg.number());
+                wire::put_u8(&mut p, e.acc.number());
+            }
+        }
+        wire::put_u32(&mut p, self.copies);
+        wire::put_u32(&mut p, self.strands);
+        wire::put_u32(&mut p, self.terminations);
+        for v in self.categories.0 {
+            wire::put_u64(&mut p, v);
+        }
+        for v in self.oracle_categories.0 {
+            wire::put_u64(&mut p, v);
+        }
+        wire::seal(ARTIFACT_MAGIC, ARTIFACT_VERSION, &p)
+    }
+
+    /// Deserializes an artifact written by
+    /// [`to_bytes`](FragmentArtifact::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<FragmentArtifact, SnapshotError> {
+        let (version, payload) = wire::open(ARTIFACT_MAGIC, bytes)?;
+        if version != ARTIFACT_VERSION {
+            return Err(SnapshotError::BadVersion { version });
+        }
+        let mut c = Cursor::new(payload);
+        let vstart = c.take_u64()?;
+        let form = if c.take_u8()? == 0 {
+            IsaForm::Basic
+        } else {
+            IsaForm::Modified
+        };
+        let src_inst_count = c.take_u32()?;
+        let n = c.take_u32()? as usize;
+        let mut insts = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            insts.push(take_iinst(&mut c)?);
+        }
+        let n = c.take_u32()? as usize;
+        let mut meta = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let vaddr = c.take_u64()?;
+            let vcount = c.take_u16()?;
+            let category = match c.take_u8()? {
+                0 => None,
+                i => Some(*UsageCat::ALL.get(i as usize - 1).ok_or(bad_tag(i))?),
+            };
+            let is_chain = c.take_u8()? != 0;
+            meta.push(IMeta {
+                vaddr,
+                vcount,
+                category,
+                is_chain,
+            });
+        }
+        let n = c.take_u32()? as usize;
+        let mut recovery = HashMap::new();
+        for _ in 0..n {
+            let slot = c.take_u32()?;
+            let m = c.take_u32()? as usize;
+            let mut entries = Vec::with_capacity(m.min(64));
+            for _ in 0..m {
+                let reg = take_reg(&mut c)?;
+                let acc = take_acc(&mut c)?;
+                entries.push(RecoveryEntry { reg, acc });
+            }
+            recovery.insert(slot, entries);
+        }
+        let copies = c.take_u32()?;
+        let strands = c.take_u32()?;
+        let terminations = c.take_u32()?;
+        let mut categories = CategoryCounts::default();
+        for v in categories.0.iter_mut() {
+            *v = c.take_u64()?;
+        }
+        let mut oracle_categories = CategoryCounts::default();
+        for v in oracle_categories.0.iter_mut() {
+            *v = c.take_u64()?;
+        }
+        Ok(FragmentArtifact {
+            vstart,
+            form,
+            src_inst_count,
+            insts,
+            meta,
+            recovery,
+            copies,
+            strands,
+            terminations,
+            categories,
+            oracle_categories,
+        })
+    }
+}
+
+fn bad_tag(tag: u8) -> SnapshotError {
+    // An out-of-range tag means the artifact came from a newer build.
+    SnapshotError::BadVersion {
+        version: tag as u32,
+    }
+}
+
+fn put_asrc(p: &mut Vec<u8>, s: &ASrc) {
+    match *s {
+        ASrc::Acc => wire::put_u8(p, 0),
+        ASrc::Gpr(r) => {
+            wire::put_u8(p, 1);
+            wire::put_u8(p, r.number());
+        }
+        ASrc::Imm(v) => {
+            wire::put_u8(p, 2);
+            wire::put_u16(p, v as u16);
+        }
+    }
+}
+
+fn take_asrc(c: &mut Cursor<'_>) -> Result<ASrc, SnapshotError> {
+    Ok(match c.take_u8()? {
+        0 => ASrc::Acc,
+        1 => ASrc::Gpr(take_reg(c)?),
+        2 => ASrc::Imm(c.take_u16()? as i16),
+        tag => return Err(bad_tag(tag)),
+    })
+}
+
+fn take_reg(c: &mut Cursor<'_>) -> Result<Reg, SnapshotError> {
+    let n = c.take_u8()?;
+    if n >= 32 {
+        return Err(bad_tag(n));
+    }
+    Ok(Reg::new(n))
+}
+
+fn take_acc(c: &mut Cursor<'_>) -> Result<Acc, SnapshotError> {
+    let n = c.take_u8()?;
+    if n as usize >= Acc::MAX_ACCUMULATORS {
+        return Err(bad_tag(n));
+    }
+    Ok(Acc::new(n))
+}
+
+fn put_opt_reg(p: &mut Vec<u8>, r: &Option<Reg>) {
+    match r {
+        Some(r) => {
+            wire::put_u8(p, 1);
+            wire::put_u8(p, r.number());
+        }
+        None => wire::put_u8(p, 0),
+    }
+}
+
+fn take_opt_reg(c: &mut Cursor<'_>) -> Result<Option<Reg>, SnapshotError> {
+    Ok(match c.take_u8()? {
+        0 => None,
+        _ => Some(take_reg(c)?),
+    })
+}
+
+fn put_itarget(p: &mut Vec<u8>, t: &ITarget) {
+    match *t {
+        ITarget::Local(i) => {
+            wire::put_u8(p, 0);
+            wire::put_u32(p, i);
+        }
+        ITarget::Addr(a) => {
+            wire::put_u8(p, 1);
+            wire::put_u64(p, a);
+        }
+    }
+}
+
+fn take_itarget(c: &mut Cursor<'_>) -> Result<ITarget, SnapshotError> {
+    Ok(match c.take_u8()? {
+        0 => ITarget::Local(c.take_u32()?),
+        1 => ITarget::Addr(c.take_u64()?),
+        tag => return Err(bad_tag(tag)),
+    })
+}
+
+/// Every `OperateOp`, in declaration order (the wire encoding is the
+/// index into this table).
+const OPERATE_OPS: [OperateOp; 42] = [
+    OperateOp::Addl,
+    OperateOp::Addq,
+    OperateOp::Subl,
+    OperateOp::Subq,
+    OperateOp::S4addl,
+    OperateOp::S4addq,
+    OperateOp::S8addq,
+    OperateOp::S4subq,
+    OperateOp::S8subq,
+    OperateOp::Cmpeq,
+    OperateOp::Cmplt,
+    OperateOp::Cmple,
+    OperateOp::Cmpult,
+    OperateOp::Cmpule,
+    OperateOp::And,
+    OperateOp::Bic,
+    OperateOp::Bis,
+    OperateOp::Ornot,
+    OperateOp::Xor,
+    OperateOp::Eqv,
+    OperateOp::Cmoveq,
+    OperateOp::Cmovne,
+    OperateOp::Cmovlt,
+    OperateOp::Cmovge,
+    OperateOp::Cmovle,
+    OperateOp::Cmovgt,
+    OperateOp::Cmovlbs,
+    OperateOp::Cmovlbc,
+    OperateOp::Sll,
+    OperateOp::Srl,
+    OperateOp::Sra,
+    OperateOp::Extbl,
+    OperateOp::Extwl,
+    OperateOp::Extll,
+    OperateOp::Extql,
+    OperateOp::Insbl,
+    OperateOp::Mskbl,
+    OperateOp::Zapnot,
+    OperateOp::Zap,
+    OperateOp::Mull,
+    OperateOp::Mulq,
+    OperateOp::Umulh,
+];
+
+const MEM_WIDTHS: [MemWidth; 4] = [MemWidth::U8, MemWidth::U16, MemWidth::I32, MemWidth::U64];
+
+const COND_KINDS: [CondKind; 8] = [
+    CondKind::Eq,
+    CondKind::Ne,
+    CondKind::Lt,
+    CondKind::Le,
+    CondKind::Gt,
+    CondKind::Ge,
+    CondKind::Lbc,
+    CondKind::Lbs,
+];
+
+fn enum_index<T: PartialEq>(table: &[T], v: &T) -> u8 {
+    table
+        .iter()
+        .position(|t| t == v)
+        .expect("value present in its own enum table") as u8
+}
+
+fn take_indexed<T: Copy>(c: &mut Cursor<'_>, table: &[T]) -> Result<T, SnapshotError> {
+    let i = c.take_u8()?;
+    table.get(i as usize).copied().ok_or(bad_tag(i))
+}
+
+fn put_iinst(p: &mut Vec<u8>, inst: &IInst) {
+    match *inst {
+        IInst::Op {
+            op,
+            acc,
+            lhs,
+            rhs,
+            dst,
+        } => {
+            wire::put_u8(p, 0);
+            wire::put_u8(p, enum_index(&OPERATE_OPS, &op));
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &lhs);
+            put_asrc(p, &rhs);
+            put_opt_reg(p, &dst);
+        }
+        IInst::Load {
+            width,
+            acc,
+            addr,
+            disp,
+            dst,
+        } => {
+            wire::put_u8(p, 1);
+            wire::put_u8(p, enum_index(&MEM_WIDTHS, &width));
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &addr);
+            wire::put_u16(p, disp as u16);
+            put_opt_reg(p, &dst);
+        }
+        IInst::Store {
+            width,
+            acc,
+            addr,
+            disp,
+            value,
+        } => {
+            wire::put_u8(p, 2);
+            wire::put_u8(p, enum_index(&MEM_WIDTHS, &width));
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &addr);
+            wire::put_u16(p, disp as u16);
+            put_asrc(p, &value);
+        }
+        IInst::AddHigh { acc, src, imm, dst } => {
+            wire::put_u8(p, 3);
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &src);
+            wire::put_u16(p, imm as u16);
+            put_opt_reg(p, &dst);
+        }
+        IInst::CmovSelect {
+            lbs,
+            acc,
+            value,
+            old,
+            dst,
+        } => {
+            wire::put_u8(p, 4);
+            wire::put_u8(p, lbs as u8);
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &value);
+            wire::put_u8(p, old.number());
+            put_opt_reg(p, &dst);
+        }
+        IInst::Dispatch { acc, src } => {
+            wire::put_u8(p, 5);
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &src);
+        }
+        IInst::CopyToGpr { acc, dst } => {
+            wire::put_u8(p, 6);
+            wire::put_u8(p, acc.number());
+            wire::put_u8(p, dst.number());
+        }
+        IInst::CopyFromGpr { acc, src } => {
+            wire::put_u8(p, 7);
+            wire::put_u8(p, acc.number());
+            wire::put_u8(p, src.number());
+        }
+        IInst::CondBranch {
+            cond,
+            acc,
+            src,
+            target,
+        } => {
+            wire::put_u8(p, 8);
+            wire::put_u8(p, enum_index(&COND_KINDS, &cond));
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &src);
+            put_itarget(p, &target);
+        }
+        IInst::Branch { target } => {
+            wire::put_u8(p, 9);
+            put_itarget(p, &target);
+        }
+        IInst::IndirectJump { kind, acc, addr } => {
+            wire::put_u8(p, 10);
+            wire::put_u8(p, kind.code() as u8);
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &addr);
+        }
+        IInst::SetVpcBase { vaddr } => {
+            wire::put_u8(p, 11);
+            wire::put_u64(p, vaddr);
+        }
+        IInst::LoadEmbeddedTarget { acc, vaddr } => {
+            wire::put_u8(p, 12);
+            wire::put_u8(p, acc.number());
+            wire::put_u64(p, vaddr);
+        }
+        IInst::SaveVReturn { dst, vaddr } => {
+            wire::put_u8(p, 13);
+            wire::put_u8(p, dst.number());
+            wire::put_u64(p, vaddr);
+        }
+        IInst::PushDualRas { vret, iret } => {
+            wire::put_u8(p, 14);
+            wire::put_u64(p, vret);
+            put_itarget(p, &iret);
+        }
+        IInst::CallTranslatorIfCond {
+            cond,
+            acc,
+            src,
+            vtarget,
+        } => {
+            wire::put_u8(p, 15);
+            wire::put_u8(p, enum_index(&COND_KINDS, &cond));
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &src);
+            wire::put_u64(p, vtarget);
+        }
+        IInst::CallTranslator { vtarget } => {
+            wire::put_u8(p, 16);
+            wire::put_u64(p, vtarget);
+        }
+        IInst::GenTrap => wire::put_u8(p, 17),
+        IInst::PutChar { acc, src } => {
+            wire::put_u8(p, 18);
+            wire::put_u8(p, acc.number());
+            put_asrc(p, &src);
+        }
+        IInst::Halt => wire::put_u8(p, 19),
+    }
+}
+
+fn take_iinst(c: &mut Cursor<'_>) -> Result<IInst, SnapshotError> {
+    Ok(match c.take_u8()? {
+        0 => IInst::Op {
+            op: take_indexed(c, &OPERATE_OPS)?,
+            acc: take_acc(c)?,
+            lhs: take_asrc(c)?,
+            rhs: take_asrc(c)?,
+            dst: take_opt_reg(c)?,
+        },
+        1 => IInst::Load {
+            width: take_indexed(c, &MEM_WIDTHS)?,
+            acc: take_acc(c)?,
+            addr: take_asrc(c)?,
+            disp: c.take_u16()? as i16,
+            dst: take_opt_reg(c)?,
+        },
+        2 => IInst::Store {
+            width: take_indexed(c, &MEM_WIDTHS)?,
+            acc: take_acc(c)?,
+            addr: take_asrc(c)?,
+            disp: c.take_u16()? as i16,
+            value: take_asrc(c)?,
+        },
+        3 => IInst::AddHigh {
+            acc: take_acc(c)?,
+            src: take_asrc(c)?,
+            imm: c.take_u16()? as i16,
+            dst: take_opt_reg(c)?,
+        },
+        4 => IInst::CmovSelect {
+            lbs: c.take_u8()? != 0,
+            acc: take_acc(c)?,
+            value: take_asrc(c)?,
+            old: take_reg(c)?,
+            dst: take_opt_reg(c)?,
+        },
+        5 => IInst::Dispatch {
+            acc: take_acc(c)?,
+            src: take_asrc(c)?,
+        },
+        6 => IInst::CopyToGpr {
+            acc: take_acc(c)?,
+            dst: take_reg(c)?,
+        },
+        7 => IInst::CopyFromGpr {
+            acc: take_acc(c)?,
+            src: take_reg(c)?,
+        },
+        8 => IInst::CondBranch {
+            cond: take_indexed(c, &COND_KINDS)?,
+            acc: take_acc(c)?,
+            src: take_asrc(c)?,
+            target: take_itarget(c)?,
+        },
+        9 => IInst::Branch {
+            target: take_itarget(c)?,
+        },
+        10 => IInst::IndirectJump {
+            kind: JumpKind::from_code(c.take_u8()? as u32),
+            acc: take_acc(c)?,
+            addr: take_asrc(c)?,
+        },
+        11 => IInst::SetVpcBase {
+            vaddr: c.take_u64()?,
+        },
+        12 => IInst::LoadEmbeddedTarget {
+            acc: take_acc(c)?,
+            vaddr: c.take_u64()?,
+        },
+        13 => IInst::SaveVReturn {
+            dst: take_reg(c)?,
+            vaddr: c.take_u64()?,
+        },
+        14 => IInst::PushDualRas {
+            vret: c.take_u64()?,
+            iret: take_itarget(c)?,
+        },
+        15 => IInst::CallTranslatorIfCond {
+            cond: take_indexed(c, &COND_KINDS)?,
+            acc: take_acc(c)?,
+            src: take_asrc(c)?,
+            vtarget: c.take_u64()?,
+        },
+        16 => IInst::CallTranslator {
+            vtarget: c.take_u64()?,
+        },
+        17 => IInst::GenTrap,
+        18 => IInst::PutChar {
+            acc: take_acc(c)?,
+            src: take_asrc(c)?,
+        },
+        19 => IInst::Halt,
+        tag => return Err(bad_tag(tag)),
+    })
+}
+
+/// Aggregate counters of a [`FragmentStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StoreStats {
+    /// Lookups that found a reusable artifact.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Artifacts newly stored (duplicates not counted).
+    pub stores: u64,
+    /// Entries removed by coherence invalidation.
+    pub invalidations: u64,
+}
+
+/// An `Arc`-shared, thread-safe store of serialized fragment artifacts.
+///
+/// Entries are kept in wire form (`Arc<Vec<u8>>`): producers pay one
+/// serialization, consumers one deserialization, and the checksum
+/// envelope travels with the artifact even in-process.
+#[derive(Debug, Default)]
+pub struct FragmentStore {
+    entries: Mutex<HashMap<ArtifactKey, Arc<Vec<u8>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl FragmentStore {
+    /// Creates an empty store.
+    pub fn new() -> FragmentStore {
+        FragmentStore::default()
+    }
+
+    /// The process-wide shared store (used when
+    /// [`VmConfig::shared_cache`](crate::VmConfig::shared_cache) is set
+    /// without an explicit [`Vm::attach_store`](crate::Vm::attach_store)).
+    pub fn global() -> &'static Arc<FragmentStore> {
+        static GLOBAL: OnceLock<Arc<FragmentStore>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(FragmentStore::new()))
+    }
+
+    /// Looks up and decodes the artifact under `key`, counting a hit or
+    /// miss. A stored artifact that fails to decode (version skew on a
+    /// disk-loaded store) counts as a miss.
+    pub fn get(&self, key: &ArtifactKey) -> Option<FragmentArtifact> {
+        let bytes = {
+            let entries = self.entries.lock().expect("fragment store poisoned");
+            entries.get(key).cloned()
+        };
+        match bytes.and_then(|b| FragmentArtifact::from_bytes(&b).ok()) {
+            Some(art) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(art)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Serializes and stores `artifact` under `key`. Returns whether the
+    /// entry is new (an equal key already present is left in place — the
+    /// digests make collisions mean "same translation").
+    pub fn put(&self, key: ArtifactKey, artifact: &FragmentArtifact) -> bool {
+        let mut entries = self.entries.lock().expect("fragment store poisoned");
+        if entries.contains_key(&key) {
+            return false;
+        }
+        entries.insert(key, Arc::new(artifact.to_bytes()));
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Coherence invalidation: removes the entry under `key` (SMC or a
+    /// ladder demotion proved the fragment bad on some VM). Returns
+    /// whether an entry was removed.
+    pub fn remove(&self, key: &ArtifactKey) -> bool {
+        let removed = {
+            let mut entries = self.entries.lock().expect("fragment store poisoned");
+            entries.remove(key).is_some()
+        };
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Number of stored artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("fragment store poisoned").len()
+    }
+
+    /// Whether the store holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serializes the whole store (counters excluded — they are run
+    /// state, not cache content).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let entries = self.entries.lock().expect("fragment store poisoned");
+        let mut keys: Vec<&ArtifactKey> = entries.keys().collect();
+        keys.sort_unstable_by_key(|k| (k.code_digest, k.config_digest));
+        let mut p = Vec::new();
+        wire::put_u32(&mut p, keys.len() as u32);
+        for key in keys {
+            wire::put_u64(&mut p, key.code_digest);
+            wire::put_u64(&mut p, key.config_digest);
+            wire::put_bytes(&mut p, &entries[key]);
+        }
+        wire::seal(STORE_MAGIC, STORE_VERSION, &p)
+    }
+
+    /// Deserializes a store written by [`to_bytes`](FragmentStore::to_bytes).
+    /// Every contained artifact is decoded eagerly so a corrupt store is
+    /// rejected at load time rather than at first use.
+    pub fn from_bytes(bytes: &[u8]) -> Result<FragmentStore, SnapshotError> {
+        let (version, payload) = wire::open(STORE_MAGIC, bytes)?;
+        if version != STORE_VERSION {
+            return Err(SnapshotError::BadVersion { version });
+        }
+        let mut c = Cursor::new(payload);
+        let n = c.take_u32()? as usize;
+        let store = FragmentStore::new();
+        {
+            let mut entries = store.entries.lock().expect("fragment store poisoned");
+            for _ in 0..n {
+                let key = ArtifactKey {
+                    code_digest: c.take_u64()?,
+                    config_digest: c.take_u64()?,
+                };
+                let bytes = c.take_bytes()?.to_vec();
+                FragmentArtifact::from_bytes(&bytes)?;
+                entries.insert(key, Arc::new(bytes));
+            }
+        }
+        Ok(store)
+    }
+
+    /// Persists the store to disk (the optional on-disk warm-start
+    /// artifact).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Loads a store persisted by [`save`](FragmentStore::save).
+    pub fn load(path: &std::path::Path) -> std::io::Result<FragmentStore> {
+        let bytes = std::fs::read(path)?;
+        FragmentStore::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{collect_superblock, ProfileConfig};
+    use alpha_isa::{Assembler, Reg as AReg};
+
+    fn sample_artifact() -> FragmentArtifact {
+        let a = Acc::new(1);
+        let insts = vec![
+            IInst::SetVpcBase { vaddr: 0x1_0000 },
+            IInst::Op {
+                op: OperateOp::Subq,
+                acc: a,
+                lhs: ASrc::Gpr(AReg::A0),
+                rhs: ASrc::Imm(-1),
+                dst: Some(AReg::A0),
+            },
+            IInst::Load {
+                width: MemWidth::U64,
+                acc: Acc::new(0),
+                addr: ASrc::Acc,
+                disp: 8,
+                dst: None,
+            },
+            IInst::Store {
+                width: MemWidth::I32,
+                acc: Acc::new(0),
+                addr: ASrc::Acc,
+                disp: 0,
+                value: ASrc::Gpr(AReg::V0),
+            },
+            IInst::AddHigh {
+                acc: a,
+                src: ASrc::Gpr(AReg::GP),
+                imm: -3,
+                dst: None,
+            },
+            IInst::CmovSelect {
+                lbs: true,
+                acc: a,
+                value: ASrc::Imm(7),
+                old: AReg::V0,
+                dst: Some(AReg::V0),
+            },
+            IInst::Dispatch {
+                acc: a,
+                src: ASrc::Acc,
+            },
+            IInst::CopyToGpr {
+                acc: a,
+                dst: AReg::new(1),
+            },
+            IInst::CopyFromGpr {
+                acc: a,
+                src: AReg::new(1),
+            },
+            IInst::CondBranch {
+                cond: CondKind::Ne,
+                acc: a,
+                src: ASrc::Acc,
+                target: ITarget::Local(1),
+            },
+            IInst::Branch {
+                target: ITarget::Addr(0xbeef),
+            },
+            IInst::IndirectJump {
+                kind: JumpKind::Ret,
+                acc: a,
+                addr: ASrc::Acc,
+            },
+            IInst::LoadEmbeddedTarget {
+                acc: a,
+                vaddr: 0x2_0000,
+            },
+            IInst::SaveVReturn {
+                dst: AReg::RA,
+                vaddr: 0x1_0008,
+            },
+            IInst::PushDualRas {
+                vret: 0x1_000c,
+                iret: ITarget::Local(3),
+            },
+            IInst::CallTranslatorIfCond {
+                cond: CondKind::Lbs,
+                acc: a,
+                src: ASrc::Acc,
+                vtarget: 0x1_0040,
+            },
+            IInst::CallTranslator { vtarget: 0x1_0080 },
+            IInst::GenTrap,
+            IInst::PutChar {
+                acc: a,
+                src: ASrc::Imm(65),
+            },
+            IInst::Halt,
+        ];
+        let meta: Vec<IMeta> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, _)| IMeta {
+                vaddr: 0x1_0000 + 4 * i as u64,
+                vcount: i as u16,
+                category: UsageCat::ALL.get(i % 9).copied(),
+                is_chain: i % 3 == 0,
+            })
+            .collect();
+        let mut recovery = HashMap::new();
+        recovery.insert(
+            2,
+            vec![RecoveryEntry {
+                reg: AReg::A0,
+                acc: Acc::new(1),
+            }],
+        );
+        let mut categories = CategoryCounts::default();
+        categories.0[2] = 5;
+        FragmentArtifact {
+            vstart: 0x1_0000,
+            form: IsaForm::Modified,
+            src_inst_count: 12,
+            insts,
+            meta,
+            recovery,
+            copies: 3,
+            strands: 4,
+            terminations: 1,
+            categories,
+            oracle_categories: CategoryCounts::default(),
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip_covers_every_instruction() {
+        let art = sample_artifact();
+        let back = FragmentArtifact::from_bytes(&art.to_bytes()).unwrap();
+        assert_eq!(back, art);
+    }
+
+    #[test]
+    fn artifact_corruption_is_detected() {
+        let mut bytes = sample_artifact().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        assert!(FragmentArtifact::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn store_counts_hits_misses_and_coherence() {
+        let art = sample_artifact();
+        let key = ArtifactKey {
+            code_digest: 1,
+            config_digest: 2,
+        };
+        let store = FragmentStore::new();
+        assert!(store.get(&key).is_none());
+        assert!(store.put(key, &art));
+        assert!(!store.put(key, &art), "duplicate put is not a new store");
+        assert_eq!(store.get(&key).unwrap(), art);
+        assert!(store.remove(&key));
+        assert!(!store.remove(&key));
+        assert!(store.get(&key).is_none());
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.stores, s.invalidations), (1, 2, 1, 1));
+    }
+
+    #[test]
+    fn store_wire_roundtrip() {
+        let art = sample_artifact();
+        let store = FragmentStore::new();
+        store.put(
+            ArtifactKey {
+                code_digest: 10,
+                config_digest: 20,
+            },
+            &art,
+        );
+        let back = FragmentStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(
+            back.get(&ArtifactKey {
+                code_digest: 10,
+                config_digest: 20,
+            })
+            .unwrap(),
+            art
+        );
+    }
+
+    #[test]
+    fn keys_separate_configs_and_paths() {
+        let mut asm = Assembler::new(0x1_0000);
+        asm.lda_imm(AReg::A0, 9);
+        let top_pc = asm.current_pc();
+        let top = asm.here("top");
+        asm.subq_imm(AReg::A0, 1, AReg::A0);
+        asm.bne(AReg::A0, top);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let (mut cpu, mut mem) = program.load();
+        cpu.pc = top_pc;
+        cpu.write(AReg::A0, 9);
+        let sb = collect_superblock(&mut cpu, &mut mem, &program, &ProfileConfig::default())
+            .expect("collection");
+        let t1 = Translator::default();
+        let t2 = Translator {
+            form: IsaForm::Basic,
+            ..t1
+        };
+        let k1 = artifact_key(&program, &sb, &t1);
+        let k2 = artifact_key(&program, &sb, &t2);
+        assert_eq!(k1.code_digest, k2.code_digest);
+        assert_ne!(k1.config_digest, k2.config_digest);
+        // The digest is a function of the collected path, so re-collecting
+        // the same path reproduces it.
+        let (mut cpu2, mut mem2) = program.load();
+        cpu2.pc = top_pc;
+        cpu2.write(AReg::A0, 9);
+        let sb2 = collect_superblock(&mut cpu2, &mut mem2, &program, &ProfileConfig::default())
+            .expect("collection");
+        assert_eq!(artifact_key(&program, &sb2, &t1), k1);
+    }
+}

@@ -28,11 +28,13 @@
 
 #![warn(missing_docs)]
 
+mod artifact;
 mod classify;
 mod cost;
 mod engine;
 mod error;
 mod fragment;
+mod pipeline;
 mod profile;
 mod replay;
 mod snapshot;
@@ -43,6 +45,10 @@ mod translate;
 mod vm;
 pub mod wire;
 
+pub use artifact::{
+    artifact_key, superblock_digest, translator_digest, ArtifactKey, FragmentArtifact,
+    FragmentStore, StoreStats, ARTIFACT_MAGIC, ARTIFACT_VERSION, STORE_MAGIC, STORE_VERSION,
+};
 pub use classify::{
     analyze, analyze_oracle, CategoryCounts, Dataflow, Reaching, UsageCat, ValueId, ValueInfo,
 };
@@ -53,6 +59,7 @@ pub use fragment::{
     Fragment, FragmentId, IMeta, RecoveryEntry, TranslationCache, CODE_CACHE_BASE,
     DISPATCH_COST_INSTS, DISPATCH_IADDR, SMC_PAGE_SHIFT,
 };
+pub use pipeline::{translate_job, TranslatePool, TranslateRequest, TranslateResponse};
 pub use profile::{
     collect_superblock, collect_superblock_with_output, interp_step, Candidates, InterpEvent,
     ProfileConfig,

@@ -1,0 +1,241 @@
+//! The background translation pipeline (worker pool).
+//!
+//! The paper's two-stage model performs MRET superblock formation,
+//! strand/accumulator assignment and (in this reproduction) the verifier
+//! passes synchronously on the execution hot path: every hot-region
+//! promotion stalls the guest for the full translate + verify latency.
+//! This module moves the *pure* part of that work off-thread.
+//!
+//! The split is dictated by determinism: superblock **collection**
+//! executes the guest path once and mutates architected state, so it
+//! stays synchronous on the VM thread. Translation and verification are
+//! pure functions of the collected [`Superblock`] and the
+//! [`Translator`] configuration, so a [`TranslateRequest`] carries the
+//! owned superblock to a detached worker, and the finished (translated
+//! and verified) fragment travels back over a per-VM channel to be
+//! installed at the next fragment-boundary safe point. Per-region
+//! in-flight dedup and the install decision itself (stale-epoch,
+//! demotion and SMC checks) remain on the VM thread — the worker never
+//! touches VM state.
+//!
+//! The pool is plain `std::thread` + `std::sync::mpsc` (the build is
+//! offline; no runtime deps). Workers are detached and shared
+//! process-wide via [`TranslatePool::global`], so N VMs on M OS threads
+//! share one translation service, as a warehouse-scale deployment would.
+
+use crate::translate::{TranslatedCode, Translator};
+use crate::vm::{InstallReview, InstallValidator};
+use crate::Superblock;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One unit of background translation work: an owned superblock plus the
+/// translator tier to run it through. The collected block is a pure
+/// value — translating it does not touch guest state.
+pub struct TranslateRequest {
+    /// Entry V-address of the region (echoed back in the response).
+    pub vstart: u64,
+    /// The collected superblock (owned; collection already ran on the VM
+    /// thread).
+    pub sb: Superblock,
+    /// The translator tier for this region's current ladder level.
+    pub translator: Translator,
+    /// Optional install validator to run worker-side. Validator reports
+    /// collected via thread-local side channels stay on the worker
+    /// thread; only the verdict travels back.
+    pub validator: Option<InstallValidator>,
+    /// Where the finished translation goes (the submitting VM's reply
+    /// channel).
+    pub reply: Sender<TranslateResponse>,
+}
+
+/// A finished background translation, ready for the safe-point install
+/// decision on the VM thread.
+pub struct TranslateResponse {
+    /// Entry V-address of the region.
+    pub vstart: u64,
+    /// The emitted translation.
+    pub code: TranslatedCode,
+    /// The validator's verdict (`Ok` when no validator was configured).
+    pub verdict: Result<(), String>,
+    /// Wall nanoseconds the worker spent translating + verifying.
+    pub wall_nanos: u64,
+    /// Of `wall_nanos`, the nanoseconds spent in the validator.
+    pub verify_nanos: u64,
+}
+
+/// A shared pool of detached translation worker threads.
+///
+/// Jobs are distributed over one multi-consumer queue (a mutexed
+/// [`Receiver`]); each job carries its own reply sender, so any number
+/// of VMs can share the pool concurrently.
+pub struct TranslatePool {
+    tx: Mutex<Sender<TranslateRequest>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for TranslatePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TranslatePool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl TranslatePool {
+    /// Spawns a pool with `workers` detached worker threads (clamped to
+    /// at least one).
+    pub fn new(workers: usize) -> Arc<TranslatePool> {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<TranslateRequest>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("ildp-translate-{i}"))
+                .spawn(move || worker_loop(&rx))
+                .expect("spawning translation worker");
+        }
+        Arc::new(TranslatePool {
+            tx: Mutex::new(tx),
+            workers,
+        })
+    }
+
+    /// The process-wide shared pool, sized by the `ILDP_TRANSLATE_WORKERS`
+    /// environment variable when set, otherwise one less than the
+    /// available parallelism, clamped to 1..=4.
+    pub fn global() -> &'static Arc<TranslatePool> {
+        static GLOBAL: OnceLock<Arc<TranslatePool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("ILDP_TRANSLATE_WORKERS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    let cores = std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(2);
+                    cores.saturating_sub(1).clamp(1, 4)
+                });
+            TranslatePool::new(workers)
+        })
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues a translation request. The pool outlives every VM (its
+    /// workers are detached), so submission cannot fail; a reply whose
+    /// VM has gone away is silently dropped by the worker.
+    pub fn submit(&self, req: TranslateRequest) {
+        self.tx
+            .lock()
+            .expect("translate queue poisoned")
+            .send(req)
+            .expect("translate workers terminated");
+    }
+}
+
+/// Translates and verifies one request; pure with respect to VM state.
+/// Shared so the VM's synchronous fallback path produces byte-identical
+/// results to the worker threads. Returns the translation, the verdict,
+/// and `(wall_nanos, verify_nanos)` — total time and the validator's
+/// share of it.
+pub fn translate_job(
+    sb: &Superblock,
+    translator: &Translator,
+    validator: Option<InstallValidator>,
+) -> (TranslatedCode, Result<(), String>, u64, u64) {
+    let t0 = std::time::Instant::now();
+    let code = translator.translate(sb);
+    let v0 = std::time::Instant::now();
+    let verdict = match validator {
+        Some(v) => {
+            let review = InstallReview {
+                sb,
+                code: &code,
+                translator,
+            };
+            v(&review)
+        }
+        None => Ok(()),
+    };
+    let verify_nanos = v0.elapsed().as_nanos() as u64;
+    (code, verdict, t0.elapsed().as_nanos() as u64, verify_nanos)
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TranslateRequest>>>) {
+    loop {
+        // Holding the lock across `recv` is intentional: the queue is the
+        // only thing the lock guards, and a blocked holder sleeps inside
+        // `recv` without starving anyone (senders do not take this lock).
+        let req = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(req) = req else {
+            // All senders gone: the process is shutting down.
+            return;
+        };
+        let (code, verdict, wall_nanos, verify_nanos) =
+            translate_job(&req.sb, &req.translator, req.validator);
+        // The VM may have been dropped while we worked; that is fine.
+        let _ = req.reply.send(TranslateResponse {
+            vstart: req.vstart,
+            code,
+            verdict,
+            wall_nanos,
+            verify_nanos,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{collect_superblock, ProfileConfig};
+    use alpha_isa::{Assembler, Reg};
+
+    #[test]
+    fn pool_translates_off_thread() {
+        let mut asm = Assembler::new(0x1_0000);
+        asm.lda_imm(Reg::A0, 50);
+        let top_pc = asm.current_pc();
+        let top = asm.here("top");
+        asm.subq_imm(Reg::A0, 1, Reg::A0);
+        asm.bne(Reg::A0, top);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let (mut cpu, mut mem) = program.load();
+        cpu.pc = top_pc;
+        cpu.write(Reg::A0, 50);
+        let sb = collect_superblock(&mut cpu, &mut mem, &program, &ProfileConfig::default())
+            .expect("collection");
+        assert!(!sb.is_empty());
+
+        let pool = TranslatePool::new(2);
+        assert_eq!(pool.workers(), 2);
+        let translator = Translator::default();
+        let (reply, inbox) = channel();
+        // Reference result from the shared synchronous job.
+        let (reference, verdict, _, _) = translate_job(&sb, &translator, None);
+        assert!(verdict.is_ok());
+        pool.submit(TranslateRequest {
+            vstart: sb.start,
+            sb: sb.clone(),
+            translator,
+            validator: None,
+            reply,
+        });
+        let resp = inbox
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("worker reply");
+        assert_eq!(resp.vstart, sb.start);
+        assert!(resp.verdict.is_ok());
+        assert_eq!(resp.code.insts, reference.insts);
+        assert_eq!(resp.code.meta, reference.meta);
+        assert_eq!(resp.code.src_inst_count, reference.src_inst_count);
+    }
+}

@@ -28,8 +28,10 @@ use crate::wire::{self, Cursor};
 /// Magic number of the replay-log wire format (`"ILPR"`).
 pub const REPLAY_MAGIC: u32 = 0x5250_4C49;
 
-/// Current replay-log format version.
-pub const REPLAY_VERSION: u32 = 1;
+/// Current replay-log format version. Version 2 added the background
+/// translation events ([`ReplayEvent::BgInstall`], [`ReplayEvent::BgDrop`],
+/// [`ReplayEvent::StagedDrop`]); version-1 logs remain readable.
+pub const REPLAY_VERSION: u32 = 2;
 
 /// One externally-applied stimulus, in application order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,6 +86,31 @@ pub enum ReplayEvent {
     /// The C01–C07 installed-fragment audit ran and healed every flagged
     /// fragment by precise invalidation.
     AuditHeal,
+    /// A background translation finished and its fragment was installed
+    /// at the fragment-boundary safe point where `at_v_insts` retired
+    /// instructions had been counted. A replaying VM in scheduled mode
+    /// translates synchronously but defers the install to this anchor.
+    BgInstall {
+        /// Entry V-address of the installed fragment.
+        fragment_vstart: u64,
+        /// Retired-instruction count at the installing safe point.
+        at_v_insts: u64,
+    },
+    /// A background translation finished but its result was discarded at
+    /// the safe point (the region had been demoted, invalidated by SMC,
+    /// rejected by the verifier, or superseded).
+    BgDrop {
+        /// Entry V-address of the dropped fragment.
+        fragment_vstart: u64,
+        /// Retired-instruction count at the discarding safe point.
+        at_v_insts: u64,
+    },
+    /// A staged (completed-but-not-yet-installed) translation was dropped
+    /// by external fault injection before reaching its safe point.
+    StagedDrop {
+        /// Entry V-address of the dropped staged fragment.
+        fragment_vstart: u64,
+    },
 }
 
 /// A standing translator-miscompile rule: whenever a fragment with entry
@@ -135,7 +162,7 @@ impl ReplayLog {
     /// Deserializes an artifact written by [`to_bytes`](ReplayLog::to_bytes).
     pub fn from_bytes(bytes: &[u8]) -> Result<ReplayLog, SnapshotError> {
         let (version, payload) = wire::open(REPLAY_MAGIC, bytes)?;
-        if version != REPLAY_VERSION {
+        if !(1..=REPLAY_VERSION).contains(&version) {
             return Err(SnapshotError::BadVersion { version });
         }
         let mut c = Cursor::new(payload);
@@ -173,10 +200,23 @@ impl ReplayLog {
             .iter()
             .position(|ev| matches!(*ev, ReplayEvent::Run { budget } if budget > v_insts))
             .unwrap_or(self.events.len());
+        // Background install/drop events anchored at or before the
+        // checkpoint are already reflected in the restored cache (or in
+        // its absence: a restored VM simply re-translates), so only the
+        // ones anchored past the checkpoint stay live.
+        let events = self.events[start..]
+            .iter()
+            .filter(|ev| match **ev {
+                ReplayEvent::BgInstall { at_v_insts, .. }
+                | ReplayEvent::BgDrop { at_v_insts, .. } => at_v_insts > v_insts,
+                _ => true,
+            })
+            .copied()
+            .collect();
         ReplayLog {
             seed: self.seed,
             sabotage: self.sabotage.clone(),
-            events: self.events[start..].to_vec(),
+            events,
         }
     }
 }
@@ -222,6 +262,26 @@ fn put_event(p: &mut Vec<u8>, ev: &ReplayEvent) {
             wire::put_u64(p, len);
         }
         ReplayEvent::AuditHeal => wire::put_u8(p, 7),
+        ReplayEvent::BgInstall {
+            fragment_vstart,
+            at_v_insts,
+        } => {
+            wire::put_u8(p, 8);
+            wire::put_u64(p, fragment_vstart);
+            wire::put_u64(p, at_v_insts);
+        }
+        ReplayEvent::BgDrop {
+            fragment_vstart,
+            at_v_insts,
+        } => {
+            wire::put_u8(p, 9);
+            wire::put_u64(p, fragment_vstart);
+            wire::put_u64(p, at_v_insts);
+        }
+        ReplayEvent::StagedDrop { fragment_vstart } => {
+            wire::put_u8(p, 10);
+            wire::put_u64(p, fragment_vstart);
+        }
     }
 }
 
@@ -251,6 +311,17 @@ fn take_event(c: &mut Cursor<'_>) -> Result<ReplayEvent, SnapshotError> {
             len: c.take_u64()?,
         },
         7 => ReplayEvent::AuditHeal,
+        8 => ReplayEvent::BgInstall {
+            fragment_vstart: c.take_u64()?,
+            at_v_insts: c.take_u64()?,
+        },
+        9 => ReplayEvent::BgDrop {
+            fragment_vstart: c.take_u64()?,
+            at_v_insts: c.take_u64()?,
+        },
+        10 => ReplayEvent::StagedDrop {
+            fragment_vstart: c.take_u64()?,
+        },
         // An unknown tag means the artifact is newer than this build —
         // report it as a version problem, not corruption.
         tag => {
@@ -319,5 +390,50 @@ mod tests {
         assert_eq!(t.events.len(), 5);
         // Trimming past every anchor leaves only the rules.
         assert!(log.trimmed_to(10_000).events.is_empty());
+    }
+
+    #[test]
+    fn background_events_roundtrip_and_trim_by_anchor() {
+        let log = ReplayLog {
+            seed: 9,
+            sabotage: Vec::new(),
+            events: vec![
+                ReplayEvent::Run { budget: 100 },
+                ReplayEvent::BgInstall {
+                    fragment_vstart: 0x1_0040,
+                    at_v_insts: 57,
+                },
+                ReplayEvent::Run { budget: 300 },
+                ReplayEvent::BgDrop {
+                    fragment_vstart: 0x1_0080,
+                    at_v_insts: 150,
+                },
+                ReplayEvent::BgInstall {
+                    fragment_vstart: 0x1_00c0,
+                    at_v_insts: 260,
+                },
+                ReplayEvent::StagedDrop {
+                    fragment_vstart: 0x1_0100,
+                },
+            ],
+        };
+        let back = ReplayLog::from_bytes(&log.to_bytes()).unwrap();
+        assert_eq!(back, log);
+        // A checkpoint at 200 keeps the tail Run, drops the background
+        // events already reflected in it, and keeps the one still due.
+        let t = log.trimmed_to(200);
+        assert_eq!(
+            t.events,
+            vec![
+                ReplayEvent::Run { budget: 300 },
+                ReplayEvent::BgInstall {
+                    fragment_vstart: 0x1_00c0,
+                    at_v_insts: 260,
+                },
+                ReplayEvent::StagedDrop {
+                    fragment_vstart: 0x1_0100,
+                },
+            ]
+        );
     }
 }

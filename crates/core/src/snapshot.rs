@@ -28,9 +28,11 @@ use alpha_isa::{Memory, Program};
 /// Magic number of the snapshot wire format (`"ILPS"`).
 pub const SNAPSHOT_MAGIC: u32 = 0x5350_4C49;
 
-/// Current snapshot format version. Readers accept exactly this version;
-/// the envelope keeps older artifacts distinguishable from corruption.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 appended the background
+/// translation pipeline and warm-start statistics to the stats block;
+/// version-1 artifacts are still readable (the new counters restore as
+/// zero). Future versions are refused.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Identity digest of a guest program: FNV-1a over the code base, entry
 /// PC, initial SP and every code word. Data segments are excluded on
@@ -143,7 +145,7 @@ impl Snapshot {
     /// Deserializes an artifact written by [`to_bytes`](Snapshot::to_bytes).
     pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
         let (version, payload) = wire::open(SNAPSHOT_MAGIC, bytes)?;
-        if version != SNAPSHOT_VERSION {
+        if !(1..=SNAPSHOT_VERSION).contains(&version) {
             return Err(SnapshotError::BadVersion { version });
         }
         let mut c = Cursor::new(payload);
@@ -188,7 +190,7 @@ impl Snapshot {
             let count = c.take_u32()?;
             smc_counts.push((vstart, count));
         }
-        let stats = take_stats(&mut c)?;
+        let stats = take_stats(&mut c, version)?;
         Ok(Snapshot {
             program_digest,
             v_insts,
@@ -243,6 +245,15 @@ pub(crate) fn put_stats(p: &mut Vec<u8>, s: &VmStats) {
         s.blacklisted,
         s.fuel_preemptions,
         s.unlinked_sites,
+        // Version 2: background pipeline + warm start.
+        s.warmup_interpreted,
+        s.translate_stall_nanos,
+        s.translate_wall_nanos,
+        s.warm_hits,
+        s.warm_misses,
+        s.warm_stores,
+        s.async_installs,
+        s.async_dropped,
     ] {
         wire::put_u64(p, v);
     }
@@ -264,8 +275,10 @@ pub(crate) fn put_stats(p: &mut Vec<u8>, s: &VmStats) {
     put_categories(p, &s.oracle_categories);
 }
 
-/// Deserializes a [`VmStats`] written by [`put_stats`].
-pub(crate) fn take_stats(c: &mut Cursor<'_>) -> Result<VmStats, SnapshotError> {
+/// Deserializes a [`VmStats`] written by [`put_stats`]. `version` is the
+/// enclosing envelope's format version: version-1 payloads lack the
+/// background-pipeline counters, which restore as zero.
+pub(crate) fn take_stats(c: &mut Cursor<'_>, version: u32) -> Result<VmStats, SnapshotError> {
     let mut s = VmStats::default();
     for v in [
         &mut s.interpreted,
@@ -290,6 +303,20 @@ pub(crate) fn take_stats(c: &mut Cursor<'_>) -> Result<VmStats, SnapshotError> {
         &mut s.unlinked_sites,
     ] {
         *v = c.take_u64()?;
+    }
+    if version >= 2 {
+        for v in [
+            &mut s.warmup_interpreted,
+            &mut s.translate_stall_nanos,
+            &mut s.translate_wall_nanos,
+            &mut s.warm_hits,
+            &mut s.warm_misses,
+            &mut s.warm_stores,
+            &mut s.async_installs,
+            &mut s.async_dropped,
+        ] {
+            *v = c.take_u64()?;
+        }
     }
     let mut e = EngineStats::default();
     for v in [
@@ -323,6 +350,14 @@ mod tests {
             smc_invalidations: 1,
             demotions: 3,
             verify_rejected: 1,
+            warmup_interpreted: 60,
+            translate_stall_nanos: 1_000,
+            translate_wall_nanos: 5_000,
+            warm_hits: 2,
+            warm_misses: 1,
+            warm_stores: 3,
+            async_installs: 4,
+            async_dropped: 1,
             ..VmStats::default()
         };
         stats.engine.v_insts = 456;
@@ -376,6 +411,36 @@ mod tests {
             Snapshot::from_bytes(&bytes),
             Err(SnapshotError::BadVersion { version: 0x7f })
         );
+    }
+
+    #[test]
+    fn version_1_payload_still_restores() {
+        // A v1 stats block is the v2 block minus the eight background
+        // pipeline counters, which sit between `unlinked_sites` and the
+        // engine block — i.e. at a fixed offset from the artifact's end:
+        // checksum (8) + three category blocks (3 × 64) + engine block
+        // (64), preceded by the 64 bytes to remove.
+        let mut snap = sample();
+        snap.stats.warmup_interpreted = 0;
+        snap.stats.translate_stall_nanos = 0;
+        snap.stats.translate_wall_nanos = 0;
+        snap.stats.warm_hits = 0;
+        snap.stats.warm_misses = 0;
+        snap.stats.warm_stores = 0;
+        snap.stats.async_installs = 0;
+        snap.stats.async_dropped = 0;
+        let v2 = snap.to_bytes();
+        let cut_end = v2.len() - 8 - 3 * 64 - 64;
+        let cut_start = cut_end - 64;
+        assert!(v2[cut_start..cut_end].iter().all(|&b| b == 0));
+        let mut v1: Vec<u8> = Vec::new();
+        v1.extend_from_slice(&v2[..cut_start]);
+        v1.extend_from_slice(&v2[cut_end..v2.len() - 8]);
+        v1[4] = 1; // version field
+        let checksum = wire::fnv1a(&v1);
+        wire::put_u64(&mut v1, checksum);
+        let back = Snapshot::from_bytes(&v1).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -8,19 +8,24 @@
 //! collected for translated (and chained) code only, and the overall
 //! performance metric is V-ISA instructions per cycle over that trace.
 
+use crate::artifact::{artifact_key, ArtifactKey, FragmentArtifact, FragmentStore};
 use crate::classify::CategoryCounts;
 use crate::cost::CostModel;
 use crate::engine::{Engine, EngineConfig, FragExit, TraceSink};
 use crate::error::{SnapshotError, VmError};
 use crate::fragment::{FragmentId, TranslationCache};
+use crate::pipeline::{translate_job, TranslatePool, TranslateRequest, TranslateResponse};
 use crate::profile::{
     collect_superblock_with_output, interp_step, Candidates, InterpEvent, ProfileConfig,
 };
+use crate::replay::ReplayEvent;
 use crate::snapshot::{program_digest, Snapshot};
-use crate::translate::{ChainPolicy, Translator};
+use crate::translate::{ChainPolicy, TranslatedCode, Translator};
 use alpha_isa::{CpuState, DecodeCache, Memory, Program, Trap};
 use ildp_uarch::{DynInst, InstClass};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
 /// Dynamo-style phase-change flushing (paper §4.1, after Dynamo): when
 /// fragment formation accelerates abruptly — the signature of a program
@@ -108,6 +113,25 @@ pub struct VmConfig {
     /// configured translator, levels ≥ 1 without the optional
     /// optimizations; `max_demotions` of 0 means interpret everything.
     pub max_demotions: u8,
+    /// Translate hot regions on the shared background worker pool
+    /// (default). Superblock collection stays on the execution thread —
+    /// architected state is identical in either mode — and the finished
+    /// fragment installs at the next fragment-boundary safe point.
+    /// `false` restores the fully synchronous pipeline (translation
+    /// stalls the guest), the mode deterministic-replay harnesses pin.
+    pub async_translate: bool,
+    /// Share translated-and-verified fragments through the process-wide
+    /// [`FragmentStore`]: translations are published keyed by guest-code
+    /// digest and translator configuration, and later VMs running the
+    /// same code warm-start from the store instead of re-translating.
+    pub shared_cache: bool,
+    /// Deterministic install delay, in retired V-ISA instructions:
+    /// translations complete immediately (synchronously) but install
+    /// only once the VM has retired this many further instructions —
+    /// a reproducible stand-in for background-translation latency, used
+    /// by the chaos harness's `delayed-install` sabotage cell. Takes
+    /// precedence over `async_translate`.
+    pub install_delay: Option<u64>,
 }
 
 impl Default for VmConfig {
@@ -123,6 +147,9 @@ impl Default for VmConfig {
             cache_budget: None,
             fuel: None,
             max_demotions: 2,
+            async_translate: true,
+            shared_cache: false,
+            install_delay: None,
         }
     }
 }
@@ -198,6 +225,33 @@ pub struct VmStats {
     /// Direct-link sites un-patched back to slow-path exits by precise
     /// invalidation.
     pub unlinked_sites: u64,
+    /// Instructions interpreted before the first fragment install — the
+    /// unavoidable cold-start share of `interpreted`, excluded from
+    /// [`VmStats::interp_fallback_ratio`] so the ratio reflects
+    /// steady-state fallback only.
+    pub warmup_interpreted: u64,
+    /// Wall nanoseconds the guest was stalled waiting on translation
+    /// (synchronous translations, plus blocking waits on an in-flight
+    /// background translation of a re-heated region).
+    pub translate_stall_nanos: u64,
+    /// Total wall nanoseconds of translation + verification work done on
+    /// behalf of this VM, wherever it ran. With background translation
+    /// this exceeds [`VmStats::translate_stall_nanos`] — the difference
+    /// is work the pipeline hid from the guest.
+    pub translate_wall_nanos: u64,
+    /// Warm-start installs: fragments taken pre-translated (and
+    /// pre-verified) from the shared [`FragmentStore`].
+    pub warm_hits: u64,
+    /// Shared-store lookups that missed and fell back to translation.
+    pub warm_misses: u64,
+    /// Fragments this VM published to the shared store.
+    pub warm_stores: u64,
+    /// Background translations installed at a safe point.
+    pub async_installs: u64,
+    /// Background translations dropped at their safe point (stale epoch,
+    /// demoted or blacklisted region, SMC hit, validator rejection, or a
+    /// chaos-injected drop).
+    pub async_dropped: u64,
     /// Dynamic engine statistics.
     pub engine: crate::engine::EngineStats,
     /// Static usage-category counts across all translations.
@@ -252,13 +306,30 @@ impl VmStats {
     /// Fraction of retired V-ISA instructions that ran interpreted — the
     /// degradation metric: 0 is fully translated, 1 is interpret-only
     /// (everything evicted, invalidated or blacklisted).
+    ///
+    /// The instructions interpreted before the first fragment install
+    /// ([`VmStats::warmup_interpreted`]) are excluded: every run pays
+    /// that cold-start cost regardless of cache health, and counting it
+    /// inflated the ratio badly for short workloads. A run that never
+    /// installs anything has no steady state and reports 1.0 as before.
     pub fn interp_fallback_ratio(&self) -> f64 {
-        let total = self.interpreted + self.engine.v_insts;
+        let steady = self.interpreted.saturating_sub(self.warmup_interpreted);
+        let total = steady + self.engine.v_insts;
         if total == 0 {
             0.0
         } else {
-            self.interpreted as f64 / total as f64
+            steady as f64 / total as f64
         }
+    }
+
+    /// Guest-visible translation stall time, in seconds.
+    pub fn translate_stall_seconds(&self) -> f64 {
+        self.translate_stall_nanos as f64 / 1e9
+    }
+
+    /// Total translation + verification wall time, in seconds.
+    pub fn translate_wall_seconds(&self) -> f64 {
+        self.translate_wall_nanos as f64 / 1e9
     }
 }
 
@@ -316,6 +387,63 @@ pub struct Vm<'p> {
     base_code_bytes: u64,
     base_evictions: u64,
     base_unlinked: u64,
+    /// The background translation pool (async mode), with the per-VM
+    /// reply channel its workers answer on.
+    pool: Option<Arc<TranslatePool>>,
+    reply_tx: Sender<TranslateResponse>,
+    reply_rx: Receiver<TranslateResponse>,
+    /// Regions whose translation is in flight on the pool, keyed by entry
+    /// V-address — the per-region dedup, plus the liveness facts captured
+    /// at submit time that the safe-point install decision re-checks.
+    in_flight: HashMap<u64, Pending>,
+    /// Finished translations parked until their install point (the
+    /// deterministic `install_delay` and scheduled-replay modes).
+    staged: Vec<Staged>,
+    /// Recorded install/drop schedule driving a deterministic replay of a
+    /// background-translation run; `Some` switches `translate_at` to
+    /// stage translations instead of submitting them.
+    schedule: Option<VecDeque<ScheduledOp>>,
+    /// Count-anchored install/drop events this run produced, for the
+    /// record side of record/replay.
+    bg_events: Vec<ReplayEvent>,
+    /// The shared warm-start fragment store, when attached.
+    store: Option<Arc<FragmentStore>>,
+    /// Store keys of fragments this VM installed, so SMC invalidation and
+    /// demotion also evict the shared copy.
+    store_keys: HashMap<u64, ArtifactKey>,
+}
+
+/// Liveness facts captured when a region's translation leaves the
+/// execution thread; the install decision re-checks them at the safe
+/// point and drops the translation if any moved.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    level: u8,
+    epoch: u64,
+    smc: u32,
+    translator: Translator,
+    key: Option<ArtifactKey>,
+}
+
+/// A finished translation waiting for its install point.
+#[derive(Debug)]
+struct Staged {
+    vstart: u64,
+    /// Install at the first safe point with `v_instructions() >= anchor`
+    /// (`install_delay` mode; unused under a replay schedule).
+    anchor: u64,
+    pending: Pending,
+    code: TranslatedCode,
+    verdict: Result<(), String>,
+    verify_nanos: u64,
+}
+
+/// One recorded background-translation outcome to reproduce.
+#[derive(Clone, Copy, Debug)]
+struct ScheduledOp {
+    vstart: u64,
+    at_v_insts: u64,
+    install: bool,
 }
 
 impl<'p> Vm<'p> {
@@ -328,6 +456,13 @@ impl<'p> Vm<'p> {
             fuel: config.engine.fuel.or(config.fuel),
             ..config.engine
         };
+        let (reply_tx, reply_rx) = channel();
+        let pool = config
+            .async_translate
+            .then(|| Arc::clone(TranslatePool::global()));
+        let store = config
+            .shared_cache
+            .then(|| Arc::clone(FragmentStore::global()));
         Vm {
             config,
             program,
@@ -346,6 +481,15 @@ impl<'p> Vm<'p> {
             base_code_bytes: 0,
             base_evictions: 0,
             base_unlinked: 0,
+            pool,
+            reply_tx,
+            reply_rx,
+            in_flight: HashMap::new(),
+            staged: Vec::new(),
+            schedule: None,
+            bg_events: Vec::new(),
+            store,
+            store_keys: HashMap::new(),
         }
     }
 
@@ -527,6 +671,20 @@ impl<'p> Vm<'p> {
             self.stats.blacklisted += 1;
         }
         self.candidates.reset(vstart);
+        // A demoted region's published translation came from a tier we no
+        // longer trust for it; other VMs must not warm-start from it.
+        self.invalidate_store_key(vstart);
+    }
+
+    /// Evicts the shared-store copy of this VM's fragment at `vstart`, if
+    /// it published one — keeps the warm-start store coherent with SMC
+    /// invalidation and ladder demotion.
+    fn invalidate_store_key(&mut self, vstart: u64) {
+        if let Some(key) = self.store_keys.remove(&vstart) {
+            if let Some(store) = &self.store {
+                store.remove(&key);
+            }
+        }
     }
 
     /// Precisely invalidates one fragment: the cache slot and every
@@ -538,6 +696,7 @@ impl<'p> Vm<'p> {
         let vstart = self.cache.invalidate(id)?;
         self.engine.unlink_fragment(id);
         self.candidates.reset(vstart);
+        self.invalidate_store_key(vstart);
         Some(vstart)
     }
 
@@ -568,6 +727,16 @@ impl<'p> Vm<'p> {
         if self.cache.lookup(vaddr).is_some() {
             return true;
         }
+        // A finished translation is already parked for this region; keep
+        // interpreting until its install point arrives.
+        if self.staged.iter().any(|s| s.vstart == vaddr) {
+            return false;
+        }
+        // The region re-heated while its translation is in flight: the
+        // slack bound. Block on the pool rather than re-collecting.
+        if self.in_flight.contains_key(&vaddr) {
+            return self.await_in_flight(vaddr);
+        }
         let level = self.demotion.get(&vaddr).copied().unwrap_or(0);
         if level >= self.config.max_demotions {
             // Bottom of the ladder: this region stays interpreted.
@@ -582,72 +751,110 @@ impl<'p> Vm<'p> {
             &mut self.output,
         ) {
             Ok(sb) if !sb.is_empty() => {
-                self.maybe_flush();
-                let out = translator.translate(&sb);
-                if let Some(validator) = self.config.validator {
-                    let review = InstallReview {
-                        sb: &sb,
-                        code: &out,
-                        translator: &translator,
-                    };
-                    let t0 = std::time::Instant::now();
-                    let verdict = validator(&review);
+                // Collection executed the path once: count it as
+                // interpreted work (the paper's collection runs during
+                // interpretation). Counted here — identically in every
+                // pipeline mode — so async and sync runs retire the same
+                // count-anchored instruction stream.
+                self.stats.interpreted += sb.len() as u64;
+                let mut pending = Pending {
+                    level,
+                    epoch: self.cache.epoch(),
+                    smc: self.smc_counts.get(&vaddr).copied().unwrap_or(0),
+                    translator,
+                    key: None,
+                };
+                // Warm start: if another VM already published this exact
+                // translation, install it without translating at all.
+                if let Some(store) = self.store.clone() {
+                    let key = artifact_key(self.program, &sb, &translator);
+                    pending.key = Some(key);
+                    if let Some(art) = store.get(&key) {
+                        self.stats.warm_hits += 1;
+                        self.install_artifact(art, key);
+                        return true;
+                    }
+                    self.stats.warm_misses += 1;
+                }
+                if self.schedule.is_some() {
+                    // Deterministic replay of a recorded background run:
+                    // translate inline, park the result, and let the
+                    // recorded count-anchored schedule decide when (and
+                    // whether) it installs.
+                    let (code, verdict, wall, verify_nanos) =
+                        translate_job(&sb, &translator, self.config.validator);
+                    self.stats.translate_wall_nanos += wall;
+                    self.staged.push(Staged {
+                        vstart: vaddr,
+                        anchor: 0,
+                        pending,
+                        code,
+                        verdict,
+                        verify_nanos,
+                    });
+                    self.candidates.reset(vaddr);
+                    return false;
+                }
+                if let Some(delay) = self.config.install_delay {
+                    let (code, verdict, wall, verify_nanos) =
+                        translate_job(&sb, &translator, self.config.validator);
+                    self.stats.translate_wall_nanos += wall;
+                    self.staged.push(Staged {
+                        vstart: vaddr,
+                        anchor: self.v_instructions() + delay,
+                        pending,
+                        code,
+                        verdict,
+                        verify_nanos,
+                    });
+                    self.candidates.reset(vaddr);
+                    return false;
+                }
+                if let Some(pool) = self.pool.clone() {
+                    pool.submit(TranslateRequest {
+                        vstart: vaddr,
+                        sb,
+                        translator,
+                        validator: self.config.validator,
+                        reply: self.reply_tx.clone(),
+                    });
+                    self.in_flight.insert(vaddr, pending);
+                    // Reset the counter so the region must re-heat to
+                    // reach the blocking wait above: bounds how far the
+                    // interpreter can run ahead of a pending install.
+                    self.candidates.reset(vaddr);
+                    return false;
+                }
+                // Synchronous pipeline: translate and verify on the
+                // execution thread — the guest stalls for all of it.
+                let (code, verdict, wall, verify_nanos) =
+                    translate_job(&sb, &translator, self.config.validator);
+                self.stats.translate_wall_nanos += wall;
+                self.stats.translate_stall_nanos += wall;
+                if self.config.validator.is_some() {
                     // Verifier time is accounted separately from the
                     // paper's translation-overhead model: it is a
                     // debugging aid, not part of the modeled DBT cost.
-                    self.stats.verify_nanos += t0.elapsed().as_nanos() as u64;
+                    self.stats.verify_nanos += verify_nanos;
                     self.stats.fragments_verified += 1;
-                    if let Err(msg) = verdict {
-                        match self.config.on_violation {
-                            OnViolation::Panic => panic!(
-                                "translation validator rejected fragment at \
-                                 {:#x}: {msg}",
-                                out.vstart
-                            ),
-                            OnViolation::Reject => {
-                                self.stats.verify_rejected += 1;
-                                // Collection still executed the path once.
-                                self.stats.interpreted += out.src_inst_count as u64;
-                                // Ladder: retry without the optional
-                                // optimizations, then blacklist.
-                                self.demote(out.vstart);
-                                return false;
-                            }
+                }
+                if let Err(msg) = verdict {
+                    match self.config.on_violation {
+                        OnViolation::Panic => panic!(
+                            "translation validator rejected fragment at \
+                             {:#x}: {msg}",
+                            code.vstart
+                        ),
+                        OnViolation::Reject => {
+                            self.stats.verify_rejected += 1;
+                            // Ladder: retry without the optional
+                            // optimizations, then blacklist.
+                            self.demote(code.vstart);
+                            return false;
                         }
                     }
                 }
-                self.stats.fragments += 1;
-                self.stats.translated_src_insts += out.src_inst_count as u64;
-                self.stats.emitted_insts += out.insts.len() as u64;
-                self.stats.static_copies += out.stats.copies as u64;
-                self.stats.strands += out.stats.strands as u64;
-                self.stats.terminations += out.stats.terminations as u64;
-                self.stats.static_categories.merge(&out.stats.categories);
-                self.stats
-                    .oracle_categories
-                    .merge(&out.stats.oracle_categories);
-                self.stats.translation_overhead += self
-                    .config
-                    .cost
-                    .fragment_cost(out.src_inst_count as u64, out.insts.len() as u64);
-                // Collection executed the path once: count it as
-                // interpreted work (the paper's collection runs during
-                // interpretation).
-                self.stats.interpreted += out.src_inst_count as u64;
-                let id = self.cache.install(
-                    out.vstart,
-                    translator.form,
-                    out.insts,
-                    out.meta,
-                    out.src_inst_count,
-                    out.recovery,
-                );
-                if let Some(budget) = self.config.cache_budget {
-                    for (fid, vstart) in self.cache.enforce_budget(budget, id) {
-                        self.engine.unlink_fragment(fid);
-                        self.candidates.reset(vstart);
-                    }
-                }
+                self.install_translation(code, translator, pending.key);
                 true
             }
             Ok(_) => false,
@@ -660,6 +867,324 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Installs a translation produced by this VM (synchronously or at a
+    /// background safe point): merges its static statistics, publishes it
+    /// to the shared store when one is attached, installs it in the
+    /// cache, and enforces the cache budget.
+    fn install_translation(
+        &mut self,
+        code: TranslatedCode,
+        translator: Translator,
+        key: Option<ArtifactKey>,
+    ) {
+        self.maybe_flush();
+        self.stats.fragments += 1;
+        self.stats.translated_src_insts += code.src_inst_count as u64;
+        self.stats.emitted_insts += code.insts.len() as u64;
+        self.stats.static_copies += code.stats.copies as u64;
+        self.stats.strands += code.stats.strands as u64;
+        self.stats.terminations += code.stats.terminations as u64;
+        self.stats.static_categories.merge(&code.stats.categories);
+        self.stats
+            .oracle_categories
+            .merge(&code.stats.oracle_categories);
+        self.stats.translation_overhead += self
+            .config
+            .cost
+            .fragment_cost(code.src_inst_count as u64, code.insts.len() as u64);
+        if let (Some(store), Some(key)) = (self.store.clone(), key) {
+            let artifact = FragmentArtifact::from_translation(&code, translator.form);
+            if store.put(key, &artifact) {
+                self.stats.warm_stores += 1;
+            }
+            self.store_keys.insert(code.vstart, key);
+        }
+        if self.stats.warmup_interpreted == 0 {
+            self.stats.warmup_interpreted = self.stats.interpreted;
+        }
+        let id = self.cache.install(
+            code.vstart,
+            translator.form,
+            code.insts,
+            code.meta,
+            code.src_inst_count,
+            code.recovery,
+        );
+        self.enforce_cache_budget(id);
+    }
+
+    /// Installs a pre-translated, pre-verified fragment taken from the
+    /// shared store. No translation happened here, so no
+    /// `translation_overhead` is charged — that is the point of the warm
+    /// start — but the static code statistics still merge so Table 2
+    /// ratios stay meaningful.
+    fn install_artifact(&mut self, artifact: FragmentArtifact, key: ArtifactKey) {
+        self.maybe_flush();
+        self.stats.fragments += 1;
+        self.stats.translated_src_insts += artifact.src_inst_count as u64;
+        self.stats.emitted_insts += artifact.insts.len() as u64;
+        self.stats.static_copies += artifact.copies as u64;
+        self.stats.strands += artifact.strands as u64;
+        self.stats.terminations += artifact.terminations as u64;
+        self.stats.static_categories.merge(&artifact.categories);
+        self.stats
+            .oracle_categories
+            .merge(&artifact.oracle_categories);
+        self.store_keys.insert(artifact.vstart, key);
+        if self.stats.warmup_interpreted == 0 {
+            self.stats.warmup_interpreted = self.stats.interpreted;
+        }
+        let id = self.cache.install(
+            artifact.vstart,
+            artifact.form,
+            artifact.insts,
+            artifact.meta,
+            artifact.src_inst_count,
+            artifact.recovery,
+        );
+        self.enforce_cache_budget(id);
+    }
+
+    fn enforce_cache_budget(&mut self, just_installed: FragmentId) {
+        if let Some(budget) = self.config.cache_budget {
+            for (fid, vstart) in self.cache.enforce_budget(budget, just_installed) {
+                self.engine.unlink_fragment(fid);
+                self.candidates.reset(vstart);
+                self.invalidate_store_key(vstart);
+            }
+        }
+    }
+
+    /// The safe-point install decision for a finished background
+    /// translation: re-checks the liveness facts captured at submit time
+    /// and installs, or drops, accordingly. `forced_drop` reproduces a
+    /// recorded drop whose cause was outside these checks. Every outcome
+    /// is recorded as a count-anchored [`ReplayEvent`].
+    fn resolve_background(
+        &mut self,
+        vstart: u64,
+        pending: Pending,
+        code: TranslatedCode,
+        verdict: Result<(), String>,
+        verify_nanos: u64,
+        forced_drop: bool,
+    ) {
+        if self.config.validator.is_some() {
+            self.stats.verify_nanos += verify_nanos;
+            self.stats.fragments_verified += 1;
+        }
+        let at_v_insts = self.v_instructions();
+        let level_now = self.demotion.get(&vstart).copied().unwrap_or(0);
+        let smc_now = self.smc_counts.get(&vstart).copied().unwrap_or(0);
+        let stale = forced_drop
+            || self.cache.lookup(vstart).is_some()
+            || level_now != pending.level
+            || level_now >= self.config.max_demotions
+            || self.cache.epoch() != pending.epoch
+            || smc_now != pending.smc;
+        if stale {
+            self.stats.async_dropped += 1;
+            self.candidates.reset(vstart);
+            self.bg_events.push(ReplayEvent::BgDrop {
+                fragment_vstart: vstart,
+                at_v_insts,
+            });
+            return;
+        }
+        if let Err(msg) = verdict {
+            match self.config.on_violation {
+                OnViolation::Panic => panic!(
+                    "translation validator rejected fragment at {:#x}: {msg}",
+                    code.vstart
+                ),
+                OnViolation::Reject => {
+                    self.stats.verify_rejected += 1;
+                    self.demote(vstart);
+                    self.stats.async_dropped += 1;
+                    self.bg_events.push(ReplayEvent::BgDrop {
+                        fragment_vstart: vstart,
+                        at_v_insts,
+                    });
+                    return;
+                }
+            }
+        }
+        self.stats.async_installs += 1;
+        self.bg_events.push(ReplayEvent::BgInstall {
+            fragment_vstart: vstart,
+            at_v_insts,
+        });
+        self.install_translation(code, pending.translator, pending.key);
+    }
+
+    fn handle_response(&mut self, resp: TranslateResponse) {
+        // A response whose region is no longer in flight was superseded
+        // (e.g. dropped by a blocking wait that gave up on it).
+        let Some(pending) = self.in_flight.remove(&resp.vstart) else {
+            return;
+        };
+        self.stats.translate_wall_nanos += resp.wall_nanos;
+        self.resolve_background(
+            resp.vstart,
+            pending,
+            resp.code,
+            resp.verdict,
+            resp.verify_nanos,
+            false,
+        );
+    }
+
+    /// Blocks until the in-flight translation for `vaddr` resolves (other
+    /// regions' replies arriving first resolve too — this is a safe
+    /// point). The wait is the guest-visible stall the pipeline could not
+    /// hide, accounted in [`VmStats::translate_stall_nanos`].
+    fn await_in_flight(&mut self, vaddr: u64) -> bool {
+        let t0 = std::time::Instant::now();
+        while self.in_flight.contains_key(&vaddr) {
+            match self
+                .reply_rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+            {
+                Ok(resp) => self.handle_response(resp),
+                Err(_) => break,
+            }
+        }
+        if self.in_flight.remove(&vaddr).is_some() {
+            // Worker lost or pathologically slow: give the region its
+            // translation slot back so it can retry.
+            self.stats.async_dropped += 1;
+            self.candidates.reset(vaddr);
+            self.bg_events.push(ReplayEvent::BgDrop {
+                fragment_vstart: vaddr,
+                at_v_insts: self.v_instructions(),
+            });
+        }
+        self.stats.translate_stall_nanos += t0.elapsed().as_nanos() as u64;
+        self.cache.lookup(vaddr).is_some()
+    }
+
+    /// The top-of-loop safe point: drains finished background
+    /// translations, and resolves parked translations whose install point
+    /// (recorded schedule, or deterministic delay anchor) has arrived.
+    fn service_background(&mut self) {
+        while let Ok(resp) = self.reply_rx.try_recv() {
+            self.handle_response(resp);
+        }
+        if self.schedule.is_some() {
+            let now = self.v_instructions();
+            while let Some(op) = self.schedule.as_ref().and_then(|q| q.front().copied()) {
+                if op.at_v_insts > now {
+                    break;
+                }
+                self.schedule.as_mut().unwrap().pop_front();
+                // A scheduled op with no parked translation refers to a
+                // region a replayed chaos event already disposed of.
+                let Some(i) = self.staged.iter().position(|s| s.vstart == op.vstart) else {
+                    continue;
+                };
+                let s = self.staged.remove(i);
+                self.resolve_background(
+                    s.vstart,
+                    s.pending,
+                    s.code,
+                    s.verdict,
+                    s.verify_nanos,
+                    !op.install,
+                );
+            }
+        } else if self.config.install_delay.is_some() {
+            let now = self.v_instructions();
+            while let Some(i) = self.staged.iter().position(|s| s.anchor <= now) {
+                let s = self.staged.remove(i);
+                self.resolve_background(
+                    s.vstart,
+                    s.pending,
+                    s.code,
+                    s.verdict,
+                    s.verify_nanos,
+                    false,
+                );
+            }
+        }
+    }
+
+    /// Switches the VM to deterministic scheduled-install mode, replaying
+    /// the background install/drop decisions recorded in `events`
+    /// ([`ReplayEvent::BgInstall`] / [`ReplayEvent::BgDrop`], anchored on
+    /// [`Vm::v_instructions`]). Translations are performed inline at
+    /// collection time but install only when their recorded anchor is
+    /// reached, in recorded order — reproducing an asynchronous run
+    /// bit-identically on a synchronous VM.
+    pub fn set_install_schedule(&mut self, events: &[ReplayEvent]) {
+        let ops = events
+            .iter()
+            .filter_map(|e| match *e {
+                ReplayEvent::BgInstall {
+                    fragment_vstart,
+                    at_v_insts,
+                } => Some(ScheduledOp {
+                    vstart: fragment_vstart,
+                    at_v_insts,
+                    install: true,
+                }),
+                ReplayEvent::BgDrop {
+                    fragment_vstart,
+                    at_v_insts,
+                } => Some(ScheduledOp {
+                    vstart: fragment_vstart,
+                    at_v_insts,
+                    install: false,
+                }),
+                _ => None,
+            })
+            .collect();
+        self.schedule = Some(ops);
+    }
+
+    /// The count-anchored background install/drop events recorded so far
+    /// (record side of record/replay).
+    pub fn bg_events(&self) -> &[ReplayEvent] {
+        &self.bg_events
+    }
+
+    /// Drains the recorded background events (see [`Vm::bg_events`]).
+    pub fn take_bg_events(&mut self) -> Vec<ReplayEvent> {
+        std::mem::take(&mut self.bg_events)
+    }
+
+    /// Attaches a shared warm-start fragment store (see
+    /// [`VmConfig::shared_cache`], which attaches the process-global one).
+    /// Must be called before the run starts translating.
+    pub fn attach_store(&mut self, store: Arc<FragmentStore>) {
+        self.store = Some(store);
+    }
+
+    /// Attaches a translation pool, enabling background translation even
+    /// if [`VmConfig::async_translate`] was off at construction.
+    pub fn attach_pool(&mut self, pool: Arc<TranslatePool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Entry V-addresses of translations parked for a later install point
+    /// (fault-injection harnesses pick drop victims from these).
+    pub fn staged_vstarts(&self) -> Vec<u64> {
+        self.staged.iter().map(|s| s.vstart).collect()
+    }
+
+    /// Drops a parked translation before it installs (chaos injection:
+    /// the translation that never arrives). Returns whether one was
+    /// parked for `vstart`. The region's profile counter resets so it can
+    /// re-heat.
+    pub fn drop_staged(&mut self, vstart: u64) -> bool {
+        let Some(i) = self.staged.iter().position(|s| s.vstart == vstart) else {
+            return false;
+        };
+        self.staged.remove(i);
+        self.stats.async_dropped += 1;
+        self.candidates.reset(vstart);
+        true
+    }
+
     /// Runs until halt, trap, or `budget` V-ISA instructions.
     ///
     /// Monomorphized over the sink (see [`TraceSink::TRACING`]): running
@@ -667,6 +1192,9 @@ impl<'p> Vm<'p> {
     /// engine's hot loop.
     pub fn run<S: TraceSink>(&mut self, budget: u64, sink: &mut S) -> VmExit {
         loop {
+            // Fragment-boundary safe point: architected state is complete
+            // here, so finished background translations install now.
+            self.service_background();
             if self.v_instructions() >= budget {
                 self.finish_overheads();
                 return VmExit::Budget;
@@ -1074,5 +1602,115 @@ mod tests {
         let mut vm = Vm::new(VmConfig::default(), &program);
         let exit = vm.run(5_000, &mut NullSink);
         assert_eq!(exit, VmExit::Budget);
+    }
+
+    fn sync_config() -> VmConfig {
+        VmConfig {
+            async_translate: false,
+            ..VmConfig::default()
+        }
+    }
+
+    #[test]
+    fn async_pipeline_matches_sync_architecturally() {
+        let program = loop_program(800);
+        let mut sync_vm = Vm::new(sync_config(), &program);
+        assert_eq!(sync_vm.run(100_000, &mut NullSink), VmExit::Halted);
+        let mut async_vm = Vm::new(VmConfig::default(), &program);
+        assert_eq!(async_vm.run(100_000, &mut NullSink), VmExit::Halted);
+        assert_eq!(async_vm.cpu().registers(), sync_vm.cpu().registers());
+        assert_eq!(
+            async_vm.memory().content_digest(),
+            sync_vm.memory().content_digest()
+        );
+        assert_eq!(async_vm.output(), sync_vm.output());
+        assert_eq!(async_vm.v_instructions(), sync_vm.v_instructions());
+        assert!(
+            async_vm.stats().fragments > 0,
+            "the hot loop must still get translated in the background"
+        );
+        assert_eq!(
+            async_vm.stats().async_installs,
+            async_vm.stats().fragments,
+            "every async fragment installs through the safe-point path"
+        );
+    }
+
+    #[test]
+    fn delayed_install_parks_translations_until_anchor() {
+        let program = loop_program(800);
+        let config = VmConfig {
+            install_delay: Some(200),
+            ..sync_config()
+        };
+        let mut vm = Vm::new(config, &program);
+        assert_eq!(vm.run(100_000, &mut NullSink), VmExit::Halted);
+        let mut reference = Vm::new(sync_config(), &program);
+        assert_eq!(reference.run(100_000, &mut NullSink), VmExit::Halted);
+        assert_eq!(vm.cpu().registers(), reference.cpu().registers());
+        assert_eq!(vm.v_instructions(), reference.v_instructions());
+        assert!(vm.stats().fragments > 0, "delayed installs must land");
+        assert_eq!(vm.stats().async_installs, vm.stats().fragments);
+        // Every install was recorded as a count-anchored event.
+        assert_eq!(
+            vm.bg_events()
+                .iter()
+                .filter(|e| matches!(e, ReplayEvent::BgInstall { .. }))
+                .count() as u64,
+            vm.stats().async_installs
+        );
+    }
+
+    #[test]
+    fn warm_start_reuses_published_fragments() {
+        let program = loop_program(800);
+        let store = Arc::new(FragmentStore::new());
+        let mut cold = Vm::new(sync_config(), &program);
+        cold.attach_store(Arc::clone(&store));
+        assert_eq!(cold.run(100_000, &mut NullSink), VmExit::Halted);
+        assert!(cold.stats().warm_stores > 0, "cold VM must publish");
+        assert_eq!(cold.stats().warm_hits, 0);
+
+        let mut warm = Vm::new(sync_config(), &program);
+        warm.attach_store(Arc::clone(&store));
+        assert_eq!(warm.run(100_000, &mut NullSink), VmExit::Halted);
+        assert_eq!(warm.cpu().registers(), cold.cpu().registers());
+        assert_eq!(warm.v_instructions(), cold.v_instructions());
+        assert!(warm.stats().fragments > 0);
+        assert_eq!(
+            warm.stats().warm_hits,
+            warm.stats().fragments,
+            "every warm fragment must come from the store"
+        );
+        assert_eq!(warm.stats().warm_misses, 0);
+        assert_eq!(
+            warm.stats().translation_overhead,
+            0,
+            "warm start must not pay translation overhead"
+        );
+    }
+
+    #[test]
+    fn recorded_async_run_replays_bit_identically() {
+        let program = loop_program(800);
+        let mut recorded = Vm::new(VmConfig::default(), &program);
+        assert_eq!(recorded.run(100_000, &mut NullSink), VmExit::Halted);
+        let events = recorded.take_bg_events();
+
+        let mut replayed = Vm::new(sync_config(), &program);
+        replayed.set_install_schedule(&events);
+        assert_eq!(replayed.run(100_000, &mut NullSink), VmExit::Halted);
+        assert_eq!(replayed.cpu().registers(), recorded.cpu().registers());
+        assert_eq!(replayed.v_instructions(), recorded.v_instructions());
+        // The replay reproduces the recorded decisions exactly.
+        assert_eq!(replayed.bg_events(), events.as_slice());
+        let mut a = recorded.stats().clone();
+        let mut b = replayed.stats().clone();
+        for s in [&mut a, &mut b] {
+            s.verify_nanos = 0;
+            s.translate_stall_nanos = 0;
+            s.translate_wall_nanos = 0;
+        }
+        assert_eq!(a, b, "stats must be bit-identical modulo wall clocks");
     }
 }

@@ -16,6 +16,11 @@ pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
 
+/// Appends a little-endian `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Appends a little-endian `u32`.
 pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -123,6 +128,11 @@ impl<'a> Cursor<'a> {
     /// Reads one byte.
     pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     /// Reads a little-endian `u32`.
