@@ -22,7 +22,8 @@
 //! seeds per cell, default 1.)
 
 use ildp_bench::chaos::{chaos_cell_recorded, chaos_replay, CellSpec, ChaosReport};
-use ildp_bench::{harness_scale, json_escape};
+use ildp_bench::harness_scale;
+use ildp_bench::lint::LintReport;
 use ildp_core::ChainPolicy;
 use ildp_isa::IsaForm;
 use spec_workloads::suite;
@@ -34,24 +35,15 @@ struct Failure {
 }
 
 fn emit_failure_report(failures: &[Failure], total: &ChaosReport) {
+    let mut report = LintReport::new("chaoslint");
+    report
+        .extra("injections", total.injections)
+        .extra("undetected", total.undetected);
+    for f in failures {
+        report.fail(f.cell.to_string(), vec![f.error.clone()]);
+    }
     println!("chaoslint: FAILURE REPORT");
-    let items: Vec<String> = failures
-        .iter()
-        .map(|f| {
-            format!(
-                "{{\"cell\":\"{}\",\"error\":\"{}\"}}",
-                json_escape(&f.cell.to_string()),
-                json_escape(&f.error)
-            )
-        })
-        .collect();
-    println!(
-        "{{\"tool\":\"chaoslint\",\"scale\":{},\"injections\":{},\"undetected\":{},\"failures\":[{}]}}",
-        harness_scale(),
-        total.injections,
-        total.undetected,
-        items.join(",")
-    );
+    println!("{}", report.to_json());
     for f in failures {
         println!("rerun: chaoslint --repro {}", f.cell);
         println!("triage: triage --chaos {} -o fail.repro", f.cell);

@@ -6,7 +6,11 @@
 //! JSON report — guest (V-ISA) instructions per second, dispatch counts,
 //! dual-RAS hit rate, and the install-time translation-validator
 //! overhead (fragments verified per second) — so successive PRs have a
-//! perf trajectory to compare against.
+//! perf trajectory to compare against. Each workload (and the aggregate)
+//! also carries a `seam_report` from the whole-cache dataflow pass
+//! (`ildp_verifier::flow`): dead and redundant cross-fragment
+//! communication counts that quantify the region re-formation
+//! opportunity.
 //!
 //! `--throughput` instead runs the multi-VM harness
 //! ([`ildp_bench::throughput`]): N VMs per (workload × ISA form) cell on
@@ -25,6 +29,7 @@
 
 use ildp_bench::throughput::{run_throughput, ThroughputOptions};
 use ildp_core::{ChainPolicy, NullSink, Translator, Vm, VmConfig, VmExit};
+use ildp_verifier::flow::{self, FlowReport};
 use ildp_verifier::{collecting_validator, take_report};
 use spec_workloads::suite;
 use std::fmt::Write as _;
@@ -47,6 +52,10 @@ struct Row {
     smc_invalidations: u64,
     demotions: u64,
     warmup_interpreted: u64,
+    /// Whole-cache dataflow summary of the final rep's installed cache:
+    /// per-seam dead/redundant cross-fragment communication counts (the
+    /// region re-formation opportunity report; see DESIGN.md §10).
+    seam: FlowReport,
 }
 
 fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
@@ -79,6 +88,7 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
         smc_invalidations: 0,
         demotions: 0,
         warmup_interpreted: 0,
+        seam: FlowReport::default(),
     };
     for _ in 0..reps {
         let mut vm = Vm::new(config, &w.program);
@@ -116,6 +126,18 @@ fn run_workload(w: &spec_workloads::Workload, reps: u32) -> Row {
             w.name,
             violations.len()
         );
+        // Whole-cache dataflow pass over the installed cache (last rep
+        // wins — every rep installs the same fragments deterministically):
+        // the seam report feeds the region re-formation roadmap item.
+        let (flow_violations, seam) =
+            flow::check_cache(vm.cache(), Some(ChainPolicy::SwPredDualRas));
+        assert!(
+            flow_violations.is_empty(),
+            "{}: {} flow violations during a perf run",
+            w.name,
+            flow_violations.len()
+        );
+        row.seam = seam;
     }
     row
 }
@@ -281,6 +303,10 @@ fn main() {
     let total_warmup: u64 = rows.iter().map(|r| r.warmup_interpreted).sum();
     let steady = total_interp.saturating_sub(total_warmup);
     let interp_fallback = steady as f64 / (steady + total_v).max(1) as f64;
+    let mut total_seam = FlowReport::default();
+    for r in &rows {
+        total_seam.merge(&r.seam);
+    }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -299,6 +325,7 @@ fn main() {
     let _ = writeln!(json, "  \"smc_invalidations\": {total_smc},");
     let _ = writeln!(json, "  \"demotions\": {total_demotions},");
     let _ = writeln!(json, "  \"interp_fallback_ratio\": {interp_fallback:.6},");
+    let _ = writeln!(json, "  \"seam_report\": {{{}}},", total_seam.json_fields());
     let _ = writeln!(json, "  \"workloads\": [");
     for (k, r) in rows.iter().enumerate() {
         let ips = r.v_insts as f64 / r.wall_s.max(1e-9);
@@ -313,7 +340,7 @@ fn main() {
              \"fragments_verified\": {}, \"verify_wall_seconds\": {:.6}, \
              \"evictions\": {}, \"smc_invalidations\": {}, \
              \"demotions\": {}, \"interp_fallback_ratio\": {:.6}, \
-             \"wall_seconds\": {:.4}}}{comma}",
+             \"wall_seconds\": {:.4}, \"seam_report\": {{{}}}}}{comma}",
             r.name,
             r.v_insts,
             r.executed,
@@ -330,6 +357,7 @@ fn main() {
             r.demotions,
             row_steady as f64 / (row_steady + r.v_insts).max(1) as f64,
             r.wall_s,
+            r.seam.json_fields(),
         );
     }
     let _ = writeln!(json, "  ]");
@@ -338,4 +366,12 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write report");
     println!("{json}");
     println!("wrote {out_path}: {agg_ips:.2e} guest insts/sec over {total_wall:.2}s");
+    println!(
+        "seam report: {} fragments, {} resolved edges, {} dead copy-outs, \
+         {} redundant seam pairs (region re-formation opportunities)",
+        total_seam.fragments,
+        total_seam.resolved_edges,
+        total_seam.dead_copy_outs,
+        total_seam.redundant_seam_pairs,
+    );
 }

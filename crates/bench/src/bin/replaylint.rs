@@ -27,18 +27,12 @@
 //! (`ILDP_SCALE` scales the workloads, default 10.)
 
 use ildp_bench::chaos::{cell_config, chaos_cell_recorded, chaos_replay, interp_reference};
+use ildp_bench::harness_scale;
+use ildp_bench::lint::{form_name, LintReport};
 use ildp_bench::triage::{paced_run_events, triage_run, ReproBundle};
-use ildp_bench::{harness_scale, json_escape};
 use ildp_core::{ChainPolicy, NullSink, ReplayLog, Sabotage, Snapshot, Vm, VmConfig, VmExit};
 use ildp_isa::IsaForm;
 use spec_workloads::{suite, Workload};
-
-fn form_name(form: IsaForm) -> &'static str {
-    match form {
-        IsaForm::Basic => "basic",
-        IsaForm::Modified => "modified",
-    }
-}
 
 /// Runs `w` to a mid-run boundary, snapshots through the wire format,
 /// restores, and requires the resumed run to finish exactly like an
@@ -250,7 +244,7 @@ fn triage_bundle_roundtrip(w: &Workload) -> Result<(), String> {
 fn main() {
     let scale = harness_scale();
     let suite = suite(scale);
-    let mut failures: Vec<String> = Vec::new();
+    let mut report = LintReport::new("replaylint");
     let mut checks = 0u64;
 
     for w in &suite {
@@ -264,7 +258,7 @@ fn main() {
                 ),
                 Err(e) => {
                     println!("FAIL {e}");
-                    failures.push(e);
+                    report.fail(format!("{}:{}:snapshot", w.name, form_name(form)), vec![e]);
                 }
             }
         }
@@ -273,7 +267,7 @@ fn main() {
             Ok(()) => println!("{:<10} record/replay ok", w.name),
             Err(e) => {
                 println!("FAIL {e}");
-                failures.push(e);
+                report.fail(format!("{}:record_replay", w.name), vec![e]);
             }
         }
         checks += 1;
@@ -281,7 +275,7 @@ fn main() {
             Ok(()) => println!("{:<10} record/replay (delayed install) ok", w.name),
             Err(e) => {
                 println!("FAIL {e}");
-                failures.push(e);
+                report.fail(format!("{}:record_replay_delayed", w.name), vec![e]);
             }
         }
         for form in [IsaForm::Basic, IsaForm::Modified] {
@@ -294,7 +288,7 @@ fn main() {
                 ),
                 Err(e) => {
                     println!("FAIL {e}");
-                    failures.push(e);
+                    report.fail(format!("{}:{}:async", w.name, form_name(form)), vec![e]);
                 }
             }
         }
@@ -306,21 +300,14 @@ fn main() {
         Ok(()) => println!("{:<10} triage bundle roundtrip ok", suite[0].name),
         Err(e) => {
             println!("FAIL {e}");
-            failures.push(e);
+            report.fail(format!("{}:triage_bundle", suite[0].name), vec![e]);
         }
     }
 
-    println!("\nreplaylint: {checks} checks, {} failures", failures.len());
-    if !failures.is_empty() {
-        println!("replaylint: FAILURE REPORT");
-        let items: Vec<String> = failures
-            .iter()
-            .map(|f| format!("\"{}\"", json_escape(f)))
-            .collect();
-        println!(
-            "{{\"tool\":\"replaylint\",\"scale\":{scale},\"failures\":[{}]}}",
-            items.join(",")
-        );
-        std::process::exit(1);
-    }
+    println!(
+        "\nreplaylint: {checks} checks, {} failures",
+        report.failures.len()
+    );
+    report.extra("checks", checks);
+    report.finish_or_exit();
 }

@@ -6,63 +6,26 @@
 //! install time; after each run the installed (patched, linked)
 //! fragments are audited again against the cache. Prints a per-cell
 //! summary and exits non-zero if any fragment violates any rule; on
-//! failure it also emits a structured JSON report naming each violating
-//! cell as `workload:form:chain`, which `--repro <cell>` re-runs alone.
+//! failure it also emits the shared lint JSON schema (see
+//! `ildp_bench::lint`) naming each violating cell as
+//! `workload:form:chain`, which `--repro <cell>` re-runs alone.
 //!
 //! Usage: `cargo run --release -p ildp-bench --bin vlint`
 //! (`ILDP_SCALE` scales the workloads, default 10.)
 
-use ildp_bench::{harness_scale, json_escape};
+use ildp_bench::harness_scale;
+use ildp_bench::lint::{cell_spec, parse_cell_spec, LintReport, ALL_CHAINS, ALL_FORMS};
 use ildp_core::{ChainPolicy, NullSink, Translator, Vm, VmConfig, VmExit};
 use ildp_isa::IsaForm;
 use ildp_verifier::{take_report, verify_installed, Violation};
-use spec_workloads::{by_name, suite, Workload, NAMES};
-
-/// One verification cell: workload × form × chain, `--repro`-addressable.
-struct Cell<'w> {
-    workload: &'w Workload,
-    form: IsaForm,
-    chain: ChainPolicy,
-}
-
-impl Cell<'_> {
-    fn spec(&self) -> String {
-        let form = match self.form {
-            IsaForm::Basic => "basic",
-            IsaForm::Modified => "modified",
-        };
-        format!("{}:{}:{}", self.workload.name, form, self.chain.label())
-    }
-}
-
-fn parse_spec(s: &str, scale: u32) -> Result<(Workload, IsaForm, ChainPolicy), String> {
-    let parts: Vec<&str> = s.split(':').collect();
-    let [workload, form, chain] = parts[..] else {
-        return Err(format!("bad cell spec {s:?}: want workload:form:chain"));
-    };
-    if !NAMES.contains(&workload) {
-        return Err(format!("unknown workload {workload:?}"));
-    }
-    let form = match form {
-        "basic" => IsaForm::Basic,
-        "modified" => IsaForm::Modified,
-        other => return Err(format!("unknown ISA form {other:?}")),
-    };
-    let chain = match chain {
-        "no_pred" => ChainPolicy::NoPred,
-        "sw_pred.no_ras" => ChainPolicy::SwPred,
-        "sw_pred.ras" => ChainPolicy::SwPredDualRas,
-        other => return Err(format!("unknown chain policy {other:?}")),
-    };
-    Ok((by_name(workload, scale).unwrap(), form, chain))
-}
+use spec_workloads::{suite, Workload};
 
 /// Runs one cell and returns (fragments verified, violations).
-fn run_cell(cell: &Cell<'_>) -> (u64, Vec<Violation>) {
+fn run_cell(workload: &Workload, form: IsaForm, chain: ChainPolicy) -> (u64, Vec<Violation>) {
     let config = VmConfig {
         translator: Translator {
-            form: cell.form,
-            chain: cell.chain,
+            form,
+            chain,
             acc_count: 4,
             fuse_memory: false,
         },
@@ -72,13 +35,10 @@ fn run_cell(cell: &Cell<'_>) -> (u64, Vec<Violation>) {
         async_translate: false,
         ..VmConfig::default()
     };
-    let mut vm = Vm::new(config, &cell.workload.program);
-    let exit = vm.run(cell.workload.budget * 2, &mut NullSink);
+    let mut vm = Vm::new(config, &workload.program);
+    let exit = vm.run(workload.budget * 2, &mut NullSink);
     if let VmExit::Trapped { vaddr, trap, .. } = exit {
-        panic!(
-            "{}: unexpected trap at {vaddr:#x}: {trap}",
-            cell.workload.name
-        );
+        panic!("{}: unexpected trap at {vaddr:#x}: {trap}", workload.name);
     }
     let mut violations: Vec<Violation> = take_report();
     let cache = vm.cache();
@@ -88,54 +48,24 @@ fn run_cell(cell: &Cell<'_>) -> (u64, Vec<Violation>) {
     (vm.stats().fragments_verified, violations)
 }
 
-fn emit_failure_report(failing: &[(String, Vec<Violation>)]) {
-    println!("vlint: FAILURE REPORT");
-    let items: Vec<String> = failing
-        .iter()
-        .map(|(spec, violations)| {
-            let vs: Vec<String> = violations
-                .iter()
-                .map(|v| format!("\"{}\"", json_escape(&v.to_string())))
-                .collect();
-            format!(
-                "{{\"cell\":\"{}\",\"violations\":[{}]}}",
-                json_escape(spec),
-                vs.join(",")
-            )
-        })
-        .collect();
-    println!(
-        "{{\"tool\":\"vlint\",\"scale\":{},\"failures\":[{}]}}",
-        harness_scale(),
-        items.join(",")
-    );
-    for (spec, _) in failing {
-        println!("rerun: vlint --repro {spec}");
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = harness_scale();
+    let mut report = LintReport::new("vlint");
     if let Some(pos) = args.iter().position(|a| a == "--repro") {
         let Some(spec) = args.get(pos + 1) else {
             eprintln!("vlint: --repro needs workload:form:chain");
             std::process::exit(2);
         };
-        let (workload, form, chain) = match parse_spec(spec, scale) {
+        let (workload, form, chain) = match parse_cell_spec(spec, scale) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("vlint: {e}");
                 std::process::exit(2);
             }
         };
-        let cell = Cell {
-            workload: &workload,
-            form,
-            chain,
-        };
-        println!("vlint: re-running cell {}", cell.spec());
-        let (fragments, violations) = run_cell(&cell);
+        println!("vlint: re-running cell {spec}");
+        let (fragments, violations) = run_cell(&workload, form, chain);
         println!(
             "{fragments} fragments verified, {} violations",
             violations.len()
@@ -144,9 +74,12 @@ fn main() {
             println!("    {v}");
         }
         if !violations.is_empty() {
-            emit_failure_report(&[(cell.spec(), violations)]);
-            std::process::exit(1);
+            report.fail(
+                spec.clone(),
+                violations.iter().map(|v| v.to_string()).collect(),
+            );
         }
+        report.finish_or_exit();
         return;
     }
     if !args.is_empty() {
@@ -156,26 +89,13 @@ fn main() {
     }
 
     let suite = suite(scale);
-    let chains = [
-        ChainPolicy::NoPred,
-        ChainPolicy::SwPred,
-        ChainPolicy::SwPredDualRas,
-    ];
-    let forms = [IsaForm::Basic, IsaForm::Modified];
-
     let mut total_fragments = 0u64;
     let mut total_violations = 0usize;
-    let mut failing: Vec<(String, Vec<Violation>)> = Vec::new();
 
     for w in &suite {
-        for &form in &forms {
-            for &chain in &chains {
-                let cell = Cell {
-                    workload: w,
-                    form,
-                    chain,
-                };
-                let (fragments, violations) = run_cell(&cell);
+        for &form in &ALL_FORMS {
+            for &chain in &ALL_CHAINS {
+                let (fragments, violations) = run_cell(w, form, chain);
                 total_fragments += fragments;
                 total_violations += violations.len();
                 println!(
@@ -190,7 +110,10 @@ fn main() {
                     println!("    {v}");
                 }
                 if !violations.is_empty() {
-                    failing.push((cell.spec(), violations));
+                    report.fail(
+                        cell_spec(w.name, form, chain),
+                        violations.iter().map(|v| v.to_string()).collect(),
+                    );
                 }
             }
         }
@@ -200,8 +123,6 @@ fn main() {
         "\nvlint: {total_fragments} fragment translations checked, \
          {total_violations} violations"
     );
-    if total_violations > 0 {
-        emit_failure_report(&failing);
-        std::process::exit(1);
-    }
+    report.extra("fragments_verified", total_fragments);
+    report.finish_or_exit();
 }

@@ -7,8 +7,11 @@
 //! and EXPERIMENTS.md for paper-vs-measured results.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod lint;
+pub mod miscompile;
 pub mod report;
 pub mod runners;
 pub mod throughput;

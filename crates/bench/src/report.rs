@@ -17,9 +17,46 @@
 //!   "fragments_verified_per_s": 0,
 //!   "evictions": 0, "smc_invalidations": 0, "demotions": 0,
 //!   "interp_fallback_ratio": 0.0,     // steady-state, warmup excluded
+//!   "seam_report": { /* whole-cache dataflow, see below */ },
 //!   "workloads": [ { "name": "...", /* same fields per workload */ } ]
 //! }
 //! ```
+//!
+//! ## `seam_report` (aggregate and per-workload)
+//!
+//! The whole-cache dataflow pass (`ildp_verifier::flow`) over the final
+//! installed cache — the optimization-opportunity counts that feed
+//! region re-formation (ROADMAP item 5, DESIGN.md §10):
+//!
+//! ```json
+//! { "fragments": 0,            // live fragments analyzed
+//!   "resolved_edges": 0,       // chained seams in the fragment graph
+//!   "boundary_exits": 0,       // exits treated as all-live boundaries
+//!   "copy_ins": 0,             // static copy-from-GPR instructions
+//!   "copy_outs": 0,            // static copy-to-GPR instructions
+//!   "dead_copy_outs": 0,       // copy-outs provably dead at the copy
+//!   "redundant_seam_pairs": 0  // copy-out→copy-in of the same register
+//!                              // across a resolved seam
+//! }
+//! ```
+//!
+//! # Lint failure reports
+//!
+//! All four lint binaries (`vlint`, `chaoslint`, `replaylint`,
+//! `flowlint`) emit one shared single-line JSON schema on failure, built
+//! by [`crate::lint::LintReport`]:
+//!
+//! ```json
+//! { "tool": "vlint", "scale": 10,
+//!   /* tool-specific counters as extra top-level integer keys */
+//!   "failures": [ { "cell": "gzip:basic:sw_pred.ras",
+//!                   "details": ["V01 ..."] } ]
+//! }
+//! ```
+//!
+//! A failing `cell` feeds back into that tool's `--repro` flag; the
+//! `lintall` binary runs the family in sequence and aggregates exit
+//! status.
 //!
 //! # `BENCH_throughput.json` (`perfstat --throughput`)
 //!

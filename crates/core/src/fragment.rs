@@ -100,6 +100,15 @@ pub struct Fragment {
     /// translated from. A guest store into any of them invalidates the
     /// fragment (self-modifying-code detection).
     pub src_pages: Vec<u64>,
+    /// Per-instruction exit V-targets, recorded at install time from the
+    /// pre-patch instruction stream: `Some(vtarget)` for every patchable
+    /// translator exit (`CallTranslator`/`CallTranslatorIfCond`) and every
+    /// dual-RAS push (its V-side return address). Patching rewrites the
+    /// instruction into a direct branch and discards the embedded
+    /// V-address; this table preserves it, so whole-cache analyses can
+    /// check that every resolved link lands on the fragment translated
+    /// from the V-address the exit was emitted for.
+    pub exit_varms: Vec<Option<u64>>,
 }
 
 impl Fragment {
@@ -386,10 +395,19 @@ impl TranslationCache {
                     .get(k + 1)
                     .copied()
                     .unwrap_or(pc + inst.size_bytes(form) as u64);
-                build_template(inst, pc, next_pc, meta[k].vcount, form)
+                build_template(inst, pc, next_pc, &meta[k], form)
             })
             .collect();
         let links = vec![None; insts.len()];
+        // Exit V-targets must be captured before `resolve_new_fragment`
+        // patches any of this fragment's own exits into direct branches.
+        let exit_varms = insts
+            .iter()
+            .map(|inst| match *inst {
+                IInst::PushDualRas { vret, .. } => Some(vret),
+                _ => inst.patch_vtarget(),
+            })
+            .collect();
 
         // Guest pages holding the source superblock, for the SMC map.
         let mut src_pages: Vec<u64> = meta.iter().map(|m| m.vaddr >> SMC_PAGE_SHIFT).collect();
@@ -411,6 +429,7 @@ impl TranslationCache {
             entries: 0,
             referenced: true,
             src_pages,
+            exit_varms,
         };
         let bytes = fragment.size_bytes();
         for &page in &fragment.src_pages {
@@ -529,7 +548,8 @@ impl TranslationCache {
             .get(k + 1)
             .copied()
             .unwrap_or(pc + inst.size_bytes(f.form) as u64);
-        let template = build_template(&inst, pc, next_pc, f.meta[k].vcount, f.form);
+        let m = f.meta[k];
+        let template = build_template(&inst, pc, next_pc, &m, f.form);
         let link = self.link_of(&inst);
         if let Some(target) = link {
             self.incoming.entry(target).or_default().push((fid, idx));
@@ -735,8 +755,9 @@ impl TranslationCache {
 /// depend on runtime state. The engine copies this template and patches
 /// only the dynamic fields (`taken`, `mem_addr`, `v_target`, taken-branch
 /// `next_pc`) at retire time.
-fn build_template(inst: &IInst, pc: u64, next_pc: u64, vcount: u16, form: IsaForm) -> DynInst {
+fn build_template(inst: &IInst, pc: u64, next_pc: u64, meta: &IMeta, form: IsaForm) -> DynInst {
     let mut d = DynInst::alu(pc, inst.size_bytes(form) as u8);
+    d.is_chain = meta.is_chain;
     let reads = inst.gpr_reads();
     d.srcs = [
         reads[0].map(|r| r.number()),
@@ -753,7 +774,7 @@ fn build_template(inst: &IInst, pc: u64, next_pc: u64, vcount: u16, form: IsaFor
     d.acc_read = inst.reads_acc();
     d.acc_write = inst.writes_acc();
     d.next_pc = next_pc;
-    d.vcount = vcount;
+    d.vcount = meta.vcount;
     match *inst {
         IInst::Op { op, .. } if op.is_multiply() => d.class = InstClass::IntMul,
         IInst::Load { .. } => d.class = InstClass::Load,

@@ -27,6 +27,7 @@
 //! conventional superscalar (Figures 4–6).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod artifact;
 mod classify;

@@ -100,6 +100,11 @@ pub struct DynInst {
     /// Number of V-ISA instructions this record retires (for V-IPC
     /// attribution; chaining overhead instructions carry 0).
     pub vcount: u16,
+    /// Whether this instruction is fragment-chaining overhead (software
+    /// jump prediction, dispatch transfers, RAS pushes) rather than a
+    /// translation of source work. Lets trace consumers attribute seam
+    /// overhead without re-deriving fragment metadata.
+    pub is_chain: bool,
 }
 
 impl DynInst {
@@ -121,6 +126,7 @@ impl DynInst {
             v_target: 0,
             ras_pair: None,
             vcount: 1,
+            is_chain: false,
         }
     }
 }

@@ -29,11 +29,15 @@
 //! [`install_validator`] accepts everything at zero cost.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod accdisc;
 mod chaining;
+pub mod flow;
 mod precise;
 mod symbolic;
+
+pub use flow::{ChainGraph, ExitArm, ExitKind, FlowReport, FragmentSummary, RegSet};
 
 use std::cell::RefCell;
 use std::fmt;
@@ -173,4 +177,51 @@ pub fn collecting_validator(review: &InstallReview<'_>) -> Result<(), String> {
     let violations = verify_translation(review.sb, review.code, review.translator);
     record(&violations);
     Ok(())
+}
+
+/// Install-time hook for the pre-install flow rules (F01–F04): rejects
+/// the translation when any fires. A no-op accept when the `verify`
+/// feature is disabled. Pairs with [`install_validator`]; the whole-cache
+/// rules (F04 installed, F05) and the dynamic rule (F06) need the full
+/// cache or a trace and live in [`flow::check_cache`] /
+/// [`flow::check_dynamic`].
+pub fn flow_install_validator(review: &InstallReview<'_>) -> Result<(), String> {
+    #[cfg(feature = "verify")]
+    {
+        let mut violations = Vec::new();
+        flow::check_translation(review.sb, review.code, &mut violations);
+        if violations.is_empty() {
+            return Ok(());
+        }
+        record(&violations);
+        let msg = violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(msg)
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        let _ = review;
+        Ok(())
+    }
+}
+
+/// Like [`flow_install_validator`] but never rejects: flow violations are
+/// recorded for [`take_report`] and the installation proceeds. Used by
+/// `flowlint` to audit a whole run without changing its execution.
+pub fn collecting_flow_validator(review: &InstallReview<'_>) -> Result<(), String> {
+    let mut violations = Vec::new();
+    flow::check_translation(review.sb, review.code, &mut violations);
+    record(&violations);
+    Ok(())
+}
+
+/// A combined collecting validator: the single-fragment passes *and* the
+/// pre-install flow rules, never rejecting. Lets one run feed both rule
+/// families into [`take_report`].
+pub fn collecting_full_validator(review: &InstallReview<'_>) -> Result<(), String> {
+    collecting_validator(review)?;
+    collecting_flow_validator(review)
 }

@@ -37,6 +37,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use alpha_isa as alpha;
 pub use ildp_core as core_vm;

@@ -1,0 +1,139 @@
+//! Property-based cross-validation of the static dataflow layer
+//! (`ildp_verifier::flow`) against real executions: over random
+//! (workload × ISA form × chain policy) cells, the per-fragment
+//! summaries, the whole-cache audit, and the retired-instruction trace
+//! must all agree.
+//!
+//! Three claims per sampled cell:
+//!
+//! 1. The whole-cache pass (`flow::check_cache` — F03/F04/F05 plus the
+//!    worklist liveness solver) finds no violation in a cache the VM
+//!    actually built and chained.
+//! 2. The executed trace agrees with the static summaries
+//!    (`flow::check_dynamic` — F06): every retired instruction matches
+//!    its installed template, and no runtime accumulator read crosses a
+//!    fragment seam unwritten.
+//! 3. The aggregate [`ildp_verifier::FlowReport`] is internally
+//!    consistent with summaries recomputed fragment-by-fragment, and the
+//!    modified form shows zero copy-out seam traffic (its results live
+//!    in the register file — there is no global communication to copy
+//!    out).
+
+use ildp_core::{ChainPolicy, TraceSink, Translator, Vm, VmConfig, VmExit};
+use ildp_isa::IsaForm;
+use ildp_uarch::DynInst;
+use ildp_verifier::flow;
+use proptest::prelude::*;
+use spec_workloads::suite;
+
+/// Records the first `cap` retired instructions.
+struct SampleSink {
+    buf: Vec<DynInst>,
+    cap: usize,
+}
+
+impl TraceSink for SampleSink {
+    fn retire(&mut self, inst: &DynInst) {
+        if self.buf.len() < self.cap {
+            self.buf.push(*inst);
+        }
+    }
+}
+
+fn forms() -> impl Strategy<Value = IsaForm> {
+    prop_oneof![Just(IsaForm::Basic), Just(IsaForm::Modified)]
+}
+
+fn chains() -> impl Strategy<Value = ChainPolicy> {
+    prop_oneof![
+        Just(ChainPolicy::NoPred),
+        Just(ChainPolicy::SwPred),
+        Just(ChainPolicy::SwPredDualRas),
+    ]
+}
+
+fn check_cell(workload_index: usize, form: IsaForm, chain: ChainPolicy, scale: u32) {
+    let suite = suite(scale);
+    let w = &suite[workload_index % suite.len()];
+    let config = VmConfig {
+        translator: Translator {
+            form,
+            chain,
+            acc_count: 4,
+            fuse_memory: false,
+        },
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::new(config, &w.program);
+    let mut sink = SampleSink {
+        buf: Vec::new(),
+        cap: 100_000,
+    };
+    let exit = vm.run(w.budget * 2, &mut sink);
+    assert!(
+        matches!(exit, VmExit::Halted | VmExit::Budget),
+        "{}: unexpected exit {exit:?}",
+        w.name
+    );
+    let cache = vm.cache();
+
+    // Claim 1: the real cache is flow-clean.
+    let (violations, report) = flow::check_cache(cache, Some(chain));
+    assert!(
+        violations.is_empty(),
+        "{}:{form:?}:{chain:?}: cache flow violations: {violations:?}",
+        w.name
+    );
+
+    // Claim 2: the executed trace agrees with the static summaries.
+    let dynamic = flow::check_dynamic(cache, &sink.buf);
+    assert!(
+        dynamic.is_empty(),
+        "{}:{form:?}:{chain:?}: trace/summary mismatches: {dynamic:?}",
+        w.name
+    );
+
+    // Claim 3: the aggregate report matches per-fragment recomputation.
+    let mut fragments = 0u64;
+    let (mut copy_ins, mut copy_outs) = (0u64, 0u64);
+    for frag in cache.fragments() {
+        let s = flow::summarize_fragment(frag);
+        assert_eq!(s.vstart, frag.vstart);
+        fragments += 1;
+        copy_ins += s.copy_ins.len() as u64;
+        copy_outs += s.copy_outs.len() as u64;
+        // Per-fragment sanity: a fragment that copies a live-in value in
+        // must also use that register.
+        for r in s.seam_copy_in_regs().iter() {
+            assert!(s.uses.contains(r));
+        }
+    }
+    assert_eq!(report.fragments, fragments);
+    assert_eq!(report.copy_ins, copy_ins);
+    assert_eq!(report.copy_outs, copy_outs);
+    assert!(report.dead_copy_outs <= report.copy_outs);
+    if form == IsaForm::Modified {
+        // Copy-ins still occur (two-GPR-source strands pre-copy one
+        // operand into the accumulator), but there is no copy-out global
+        // communication: modified-form results live in the register file.
+        assert_eq!(
+            report.copy_outs, 0,
+            "{}: modified form emitted copy-out seam traffic",
+            w.name
+        );
+        assert_eq!(report.redundant_seam_pairs, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn summaries_agree_with_executed_traces(
+        workload_index in 0usize..16,
+        form in forms(),
+        chain in chains(),
+    ) {
+        check_cell(workload_index, form, chain, 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! A minimal, dependency-free stand-in for the `loom` model checker.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `loom` cannot be fetched. This crate mirrors the subset of loom's API
+//! the workspace's concurrency tests are written against — [`model`],
+//! `loom::thread`, and `loom::sync` — **backed by `std` primitives**.
+//!
+//! The honest caveat: real loom instruments every synchronization
+//! operation and exhaustively enumerates the interleavings a test can
+//! exhibit under the C11 memory model. This stand-in cannot do that.
+//! [`model`] instead *stress-reruns* the closure many times under real
+//! OS scheduling (`LOOM_STUB_ITERS` overrides the count), with spawned
+//! threads racing genuinely — a probabilistic search of the same space.
+//! Tests written against this crate keep the exact loom shape, so
+//! substituting the real `loom` in `[workspace.dependencies]` (where
+//! network access exists) upgrades them to exhaustive exploration with
+//! no source changes. For the same reason the verify skill documents a
+//! ThreadSanitizer invocation as the second, independent dynamic check.
+
+/// Thread primitives, same paths as `loom::thread`.
+pub mod thread {
+    pub use std::thread::{current, park, sleep, spawn, yield_now, JoinHandle};
+}
+
+/// Synchronization primitives, same paths as `loom::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Atomics, same paths as `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+
+    /// Channels (std re-export; real loom models these via its own
+    /// primitives).
+    pub mod mpsc {
+        pub use std::sync::mpsc::{channel, Receiver, RecvError, SendError, Sender};
+    }
+}
+
+/// Default number of stress iterations per [`model`] call.
+pub const DEFAULT_ITERS: usize = 64;
+
+/// Runs `f` repeatedly, letting the OS scheduler vary thread
+/// interleavings between runs. Real loom explores interleavings
+/// exhaustively; this stand-in samples them (`LOOM_STUB_ITERS` sets the
+/// sample count). Panics inside `f` propagate, failing the test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_STUB_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_ITERS)
+        .max(1);
+    for _ in 0..iters {
+        f();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_reruns_the_body() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&runs);
+        super::model(move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(runs.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn threads_and_locks_compose() {
+        super::model(|| {
+            let counter = Arc::new(super::sync::Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    super::thread::spawn(move || {
+                        *counter.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock().unwrap(), 2);
+        });
+    }
+}
